@@ -1,0 +1,323 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each benchmark both
+// measures its code path and reports the reproduced paper quantity as a
+// custom metric, so `go test -bench=. -benchmem` regenerates every number
+// the paper reports:
+//
+//	E1-E5   Section 7.1 equations (FER, p_correct, FIT direct/switched)
+//	E6      Fig. 8 FIT sweep
+//	E7-E10  Section 7.2 bandwidth-loss equations
+//	E11-E13 Fig. 4 / Fig. 5 deterministic failure scenarios
+//	E14     Section 2.5 FEC burst-detection fractions
+//	E15     Section 4.1 CRC detection (see internal/crc for the exhaustive tests)
+//	E16     Section 7.3 hardware cost
+//	E17     Fig. 3 flit encode pipeline
+//
+// Throughput benches at the bottom measure the live simulator itself.
+package rxl_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/crc"
+	"repro/internal/flit"
+	"repro/internal/hwcost"
+	"repro/internal/phy"
+	"repro/internal/reliability"
+)
+
+// --- E1-E5: Section 7.1 equations ---------------------------------------
+
+// BenchmarkEq1FER regenerates Eq. 1 (FER ≈ 2.0e-3 at BER 1e-6).
+func BenchmarkEq1FER(b *testing.B) {
+	p := reliability.DefaultParams()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = p.FER()
+	}
+	b.ReportMetric(v, "FER")
+}
+
+// BenchmarkEq3Correctable regenerates Eq. 3 (p_correct > 98.5%).
+func BenchmarkEq3Correctable(b *testing.B) {
+	p := reliability.DefaultParams()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = p.PCorrect()
+	}
+	b.ReportMetric(v, "p_correct")
+}
+
+// BenchmarkEq5DirectFIT regenerates Eq. 4-5 (FIT ≈ 2.9e-3 direct).
+func BenchmarkEq5DirectFIT(b *testing.B) {
+	p := reliability.DefaultParams()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = p.FITDirect()
+	}
+	b.ReportMetric(v*1e3, "microFIT")
+}
+
+// BenchmarkEq8SwitchedFIT regenerates Eq. 6-8 (FIT ≈ 5.4e15, CXL 1 switch).
+func BenchmarkEq8SwitchedFIT(b *testing.B) {
+	p := reliability.DefaultParams()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = p.FITCXL(1)
+	}
+	b.ReportMetric(v/1e15, "petaFIT")
+}
+
+// BenchmarkEq10RXLFIT regenerates Eq. 9-10 (FIT ≈ 2.9e-3, RXL 1 switch).
+func BenchmarkEq10RXLFIT(b *testing.B) {
+	p := reliability.DefaultParams()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = p.FITRXL(1)
+	}
+	b.ReportMetric(v*1e3, "microFIT")
+}
+
+// --- E6: Fig. 8 ----------------------------------------------------------
+
+// BenchmarkFig8FITSweep regenerates the full Fig. 8 series (levels 0-8)
+// and reports the CXL/RXL improvement ratio at one switching level
+// (paper: >1e18).
+func BenchmarkFig8FITSweep(b *testing.B) {
+	p := reliability.DefaultParams()
+	var pts []reliability.Point
+	for i := 0; i < b.N; i++ {
+		pts = p.Fig8(8)
+	}
+	b.ReportMetric(pts[1].FITCXL/pts[1].FITRXL/1e17, "improvement_e17")
+}
+
+// --- E7-E10: Section 7.2 bandwidth equations ------------------------------
+
+// BenchmarkEq11BWDirect regenerates Eq. 11 (BW loss ≈ 0.15% direct).
+func BenchmarkEq11BWDirect(b *testing.B) {
+	p := rxl.DefaultPerformance()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = p.BWLossDirect()
+	}
+	b.ReportMetric(100*v, "bwloss_pct")
+}
+
+// BenchmarkEq12BWSwitched regenerates Eq. 12 (≈0.30% with one switch).
+func BenchmarkEq12BWSwitched(b *testing.B) {
+	p := rxl.DefaultPerformance()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = p.BWLossSwitched(1)
+	}
+	b.ReportMetric(100*v, "bwloss_pct")
+}
+
+// BenchmarkEq13BWNoPiggyback regenerates Eq. 13 (loss = p_coalescing).
+func BenchmarkEq13BWNoPiggyback(b *testing.B) {
+	p := rxl.DefaultPerformance()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = p.BWLossNoPiggyback()
+	}
+	b.ReportMetric(100*v, "bwloss_pct")
+}
+
+// BenchmarkEq14BWRXL regenerates Eq. 14 (RXL ≈ 0.30%, same as Eq. 12).
+func BenchmarkEq14BWRXL(b *testing.B) {
+	p := rxl.DefaultPerformance()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = p.BWLossRXL(1)
+	}
+	b.ReportMetric(100*v, "bwloss_pct")
+}
+
+// --- E11-E13: deterministic failure scenarios -----------------------------
+
+// BenchmarkFig4CXL runs the Fig. 4 drop script under CXL; the metric is
+// the misorder count (paper: 1 — the failure occurs).
+func BenchmarkFig4CXL(b *testing.B) {
+	mis := 0
+	for i := 0; i < b.N; i++ {
+		if core.RunFig4(rxl.CXL).Misordered {
+			mis = 1
+		}
+	}
+	b.ReportMetric(float64(mis), "misordered")
+}
+
+// BenchmarkFig4RXL runs the same script under RXL (paper: 0 misorders).
+func BenchmarkFig4RXL(b *testing.B) {
+	mis := 0
+	for i := 0; i < b.N; i++ {
+		if core.RunFig4(rxl.RXL).Misordered {
+			mis = 1
+		}
+	}
+	b.ReportMetric(float64(mis), "misordered")
+}
+
+// BenchmarkFig5aCXL: duplicate request executions under CXL (paper: ≥1).
+func BenchmarkFig5aCXL(b *testing.B) {
+	var dups uint64
+	for i := 0; i < b.N; i++ {
+		dups = core.RunFig5a(rxl.CXL).DuplicateExecutions
+	}
+	b.ReportMetric(float64(dups), "dup_exec")
+}
+
+// BenchmarkFig5aRXL: duplicate request executions under RXL (paper: 0).
+func BenchmarkFig5aRXL(b *testing.B) {
+	var dups uint64
+	for i := 0; i < b.N; i++ {
+		dups = core.RunFig5a(rxl.RXL).DuplicateExecutions
+	}
+	b.ReportMetric(float64(dups), "dup_exec")
+}
+
+// BenchmarkFig5bCXL: intra-CQID ordering violations under CXL (paper: ≥1).
+func BenchmarkFig5bCXL(b *testing.B) {
+	var ooo uint64
+	for i := 0; i < b.N; i++ {
+		ooo = core.RunFig5b(rxl.CXL).OutOfOrderData
+	}
+	b.ReportMetric(float64(ooo), "ooo_data")
+}
+
+// BenchmarkFig5bRXL: intra-CQID ordering violations under RXL (paper: 0).
+func BenchmarkFig5bRXL(b *testing.B) {
+	var ooo uint64
+	for i := 0; i < b.N; i++ {
+		ooo = core.RunFig5b(rxl.RXL).OutOfOrderData
+	}
+	b.ReportMetric(float64(ooo), "ooo_data")
+}
+
+// --- E14: FEC burst detection (Section 2.5) -------------------------------
+
+// BenchmarkFECBurstDetection measures burst-injection decode throughput
+// and reports the detection fraction for 4-symbol bursts (paper: 2/3).
+func BenchmarkFECBurstDetection(b *testing.B) {
+	const trialsPerOp = 200
+	var det float64
+	for i := 0; i < b.N; i++ {
+		o := reliability.MeasureFECBurst(4, trialsPerOp, uint64(i)+1)
+		det = o.DetectionRate()
+	}
+	b.ReportMetric(det, "detection_4B")
+}
+
+// --- E15: CRC detection (Section 4.1) -------------------------------------
+
+// BenchmarkCRCISNEncode measures the ISN-folded CRC encode rate over full
+// flit inputs; the metric confirms zero detectable overhead versus the
+// plain CRC path (see BenchmarkCRCPlainEncode).
+func BenchmarkCRCISNEncode(b *testing.B) {
+	buf := make([]byte, 242)
+	phy.NewRNG(1).Fill(buf)
+	b.SetBytes(int64(len(buf)))
+	var sum uint64
+	for i := 0; i < b.N; i++ {
+		sum ^= crc.ChecksumISN(uint16(i)&crc.SeqMask, buf)
+	}
+	sinkU64 = sum
+}
+
+// BenchmarkCRCPlainEncode is the baseline for BenchmarkCRCISNEncode.
+func BenchmarkCRCPlainEncode(b *testing.B) {
+	buf := make([]byte, 242)
+	phy.NewRNG(1).Fill(buf)
+	b.SetBytes(int64(len(buf)))
+	var sum uint64
+	for i := 0; i < b.N; i++ {
+		sum ^= crc.Checksum(buf)
+	}
+	sinkU64 = sum
+}
+
+var sinkU64 uint64
+
+// --- E16: hardware cost (Section 7.3) -------------------------------------
+
+// BenchmarkHWCostModel derives the full gate-level CRC encoder model from
+// the polynomial and reports the Section 7.3 numbers (10 extra XORs).
+func BenchmarkHWCostModel(b *testing.B) {
+	var r hwcost.Report
+	for i := 0; i < b.N; i++ {
+		r = hwcost.NewReport(242, 10)
+	}
+	b.ReportMetric(float64(r.ISNExtraXORs), "extra_xors")
+	b.ReportMetric(float64(r.NetGatesPerEndpoint), "net_gates")
+}
+
+// --- E17: flit encode pipeline (Fig. 3) ------------------------------------
+
+// BenchmarkFlitSealRXL measures the full Fig. 3 encode pipeline (ISN CRC +
+// 3-way interleaved FEC) per 256B flit.
+func BenchmarkFlitSealRXL(b *testing.B) {
+	fec := flit.NewFEC()
+	var f flit.Flit
+	phy.NewRNG(9).Fill(f.Payload())
+	b.SetBytes(flit.Size)
+	for i := 0; i < b.N; i++ {
+		f.SealRXL(uint16(i)&crc.SeqMask, fec)
+	}
+}
+
+// BenchmarkFlitDecodeRXL measures the receive pipeline: FEC decode plus
+// ISN CRC validation of a clean flit.
+func BenchmarkFlitDecodeRXL(b *testing.B) {
+	fec := flit.NewFEC()
+	var f flit.Flit
+	phy.NewRNG(9).Fill(f.Payload())
+	f.SealRXL(7, fec)
+	b.SetBytes(flit.Size)
+	ok := false
+	for i := 0; i < b.N; i++ {
+		g := f
+		g.DecodeFEC(fec)
+		ok = g.CheckCRCISN(7)
+	}
+	if !ok {
+		b.Fatal("decode failed")
+	}
+}
+
+// --- Live simulator throughput ---------------------------------------------
+
+func benchSim(b *testing.B, proto rxl.Protocol, levels int, ber float64) {
+	b.ReportAllocs()
+	fabric := rxl.MustNewFabric(rxl.Config{Protocol: proto, Levels: levels, BER: ber, BurstProb: 0.4, Seed: 11})
+	delivered := 0
+	fabric.B().Deliver = func([]byte) { delivered++ }
+	payload := make([]byte, 64)
+	b.SetBytes(flit.Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fabric.A().Submit(payload)
+		if fabric.A().Queued() > 256 {
+			fabric.Run()
+		}
+	}
+	fabric.Run()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// BenchmarkSimRXLDirect: simulator throughput, RXL direct connection.
+func BenchmarkSimRXLDirect(b *testing.B) { benchSim(b, rxl.RXL, 0, 0) }
+
+// BenchmarkSimRXLSwitched2: RXL across two switching levels.
+func BenchmarkSimRXLSwitched2(b *testing.B) { benchSim(b, rxl.RXL, 2, 0) }
+
+// BenchmarkSimRXLSwitched2BER: two levels with live error injection.
+func BenchmarkSimRXLSwitched2BER(b *testing.B) { benchSim(b, rxl.RXL, 2, 1e-6) }
+
+// BenchmarkSimCXLSwitched2: baseline CXL across two levels (same workload
+// as BenchmarkSimRXLSwitched2 for a cost comparison).
+func BenchmarkSimCXLSwitched2(b *testing.B) { benchSim(b, rxl.CXL, 2, 0) }

@@ -1,0 +1,55 @@
+// Command bwloss prints the paper's bandwidth-loss analysis (Section 7.2):
+// the Eq. 11–14 comparison table and the ACK-coalescing sweep for the
+// no-piggybacking alternative.
+//
+// Usage:
+//
+//	bwloss [-feruc 3e-5] [-retry 100] [-pcoalescing 0.1] [-levels 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+func main() {
+	feruc := flag.Float64("feruc", 3e-5, "uncorrectable flit error rate per link")
+	retry := flag.Int64("retry", 100, "go-back-N retry latency in nanoseconds")
+	pc := flag.Float64("pcoalescing", 0.1, "ACK coalescing level for the no-piggyback option")
+	levels := flag.Int("levels", 4, "maximum switching levels for the sweep")
+	flag.Parse()
+
+	p := perf.DefaultParams()
+	p.FERUC = *feruc
+	p.RetryLatency = sim.Time(*retry) * sim.Nanosecond
+	p.PCoalescing = *pc
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Println("Section 7.2 bandwidth loss (Eq. 11-14)")
+	fmt.Println("--------------------------------------")
+	fmt.Printf("%-30s %8s %8s\n", "scheme", "BW loss", "ordered")
+	for _, r := range p.Table() {
+		fmt.Printf("%-30s %7.4f%% %8v\n", r.Scheme, 100*r.BWLoss, r.Ordered)
+	}
+	fmt.Println()
+
+	fmt.Println("Retry-occupancy loss vs switching levels (Eq. 12/14)")
+	fmt.Println("levels   BW loss")
+	for l := 0; l <= *levels; l++ {
+		fmt.Printf("%6d  %7.4f%%\n", l, 100*p.BWLossSwitched(l))
+	}
+	fmt.Println()
+
+	fmt.Println("No-piggyback ACK overhead vs coalescing (Eq. 13)")
+	fmt.Println("p_coalescing   BW loss")
+	for _, r := range perf.CoalescingSweep([]float64{1, 0.5, 0.2, 0.1, 0.05, 0.02, 0.01}) {
+		fmt.Printf("%12s  %7.2f%%\n", r.Scheme[len("no-piggyback p="):], 100*r.BWLoss)
+	}
+}

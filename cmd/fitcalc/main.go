@@ -1,0 +1,73 @@
+// Command fitcalc prints the paper's analytic reliability results
+// (Section 7.1): the per-equation headline numbers and the Fig. 8
+// FIT-versus-switching-levels comparison of CXL and RXL.
+//
+// Usage:
+//
+//	fitcalc [-ber 1e-6] [-feruc 3e-5] [-pcoalescing 0.1] [-levels 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/reliability"
+)
+
+func main() {
+	ber := flag.Float64("ber", reliability.DefaultBER, "physical-layer bit error rate")
+	feruc := flag.Float64("feruc", reliability.DefaultFERUC, "uncorrectable flit error rate after FEC")
+	pc := flag.Float64("pcoalescing", reliability.DefaultPCoalescing, "fraction of flits carrying an AckNum")
+	levels := flag.Int("levels", 8, "maximum switching levels for the Fig. 8 sweep")
+	flag.Parse()
+
+	p := reliability.DefaultParams()
+	p.BER = *ber
+	p.FERUC = *feruc
+	p.PCoalescing = *pc
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Println("Section 7.1 headline numbers")
+	fmt.Println("----------------------------")
+	fmt.Printf("Eq. 1  FER (flit error rate)            %.3g\n", p.FER())
+	fmt.Printf("       erroneous flits per second       %.3g\n", p.ExpectedErroneousFlitsPerSecond())
+	fmt.Printf("Eq. 2  FER_UC (PCIe 6.0 bound)          %.3g\n", p.FERUC)
+	fmt.Printf("Eq. 3  p_correct                        %.4f\n", p.PCorrect())
+	fmt.Printf("Eq. 4  FER_UD direct                    %.3g\n", p.FERUndetectedDirect())
+	fmt.Printf("Eq. 5  FIT direct                       %.3g\n", p.FITDirect())
+	fmt.Printf("Eq. 6  FER_drop (1 switch)              %.3g\n", p.FERDrop(1))
+	fmt.Printf("Eq. 7  FER_order (1 switch)             %.3g\n", p.FEROrder(1))
+	fmt.Printf("Eq. 8  FIT CXL (1 switch)               %.3g\n", p.FITCXL(1))
+	fmt.Printf("Eq. 9  FER_UD RXL (1 switch)            %.3g\n", p.FERUndetectedRXL(1))
+	fmt.Printf("Eq. 10 FIT RXL (1 switch)               %.3g\n", p.FITRXL(1))
+	fmt.Printf("       CXL/RXL FIT ratio (1 switch)     %.3g\n", p.Improvement(1))
+	fmt.Println()
+
+	fmt.Printf("Fig. 8: FIT_device vs switching levels (BER=%g, p_coalescing=%g)\n", p.BER, p.PCoalescing)
+	fmt.Println("levels       FIT_CXL       FIT_RXL")
+	for _, pt := range p.Fig8(*levels) {
+		fmt.Printf("%6d  %12.3g  %12.3g\n", pt.Levels, pt.FITCXL, pt.FITRXL)
+	}
+	fmt.Println()
+
+	fmt.Printf("BER sweep at 1 switching level (budget: %g FIT, server-grade)\n", reliability.ServerFITBudget)
+	fmt.Println("      BER           FER       FER_UC      FIT_CXL      FIT_RXL")
+	bers := []float64{1e-12, 1e-10, 1e-8, 1e-6, 1e-5, 1e-4}
+	for _, pt := range p.BERSweep(bers, 1) {
+		fmt.Printf("%9.0e  %12.3g %12.3g %12.3g %12.3g\n", pt.BER, pt.FER, pt.FERUC, pt.FITCXL, pt.FITRXL)
+	}
+	if l := p.CXLBudgetCrossing(reliability.ServerFITBudget, 16); l >= 0 {
+		fmt.Printf("CXL exceeds the budget at %d switching level(s); RXL: ", l)
+	} else {
+		fmt.Printf("CXL stays within budget to 16 levels; RXL: ")
+	}
+	if l := p.RXLBudgetCrossing(reliability.ServerFITBudget, 16); l >= 0 {
+		fmt.Printf("exceeds at %d.\n", l)
+	} else {
+		fmt.Println("never (through 16 levels).")
+	}
+}

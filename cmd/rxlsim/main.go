@@ -1,0 +1,95 @@
+// Command rxlsim runs one end-to-end interconnect simulation: a chosen
+// protocol variant across a multi-level switched fabric with BER-driven
+// error injection, reporting delivery integrity, retries, switch drops,
+// and bandwidth accounting.
+//
+// Usage:
+//
+//	rxlsim [-proto rxl|cxl|cxl-nopb] [-levels 1] [-ber 1e-6] [-n 100000]
+//	       [-seed 1] [-burst 0.4] [-internal 0] [-compare]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/link"
+)
+
+func parseProto(s string) (link.Protocol, error) {
+	switch s {
+	case "cxl":
+		return link.ProtocolCXL, nil
+	case "cxl-nopb":
+		return link.ProtocolCXLNoPiggyback, nil
+	case "rxl":
+		return link.ProtocolRXL, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q (want cxl, cxl-nopb, or rxl)", s)
+	}
+}
+
+func main() {
+	proto := flag.String("proto", "rxl", "protocol: cxl, cxl-nopb, or rxl")
+	levels := flag.Int("levels", 1, "switching levels (0 = direct connection)")
+	ber := flag.Float64("ber", 1e-6, "per-link bit error rate")
+	burst := flag.Float64("burst", 0.4, "DFE burst extension probability")
+	internal := flag.Float64("internal", 0, "per-flit switch-internal corruption probability")
+	n := flag.Int("n", 100000, "payloads to transfer")
+	seed := flag.Uint64("seed", 1, "RNG seed (equal seeds reproduce runs exactly)")
+	compare := flag.Bool("compare", false, "run all three protocols on the same workload")
+	flag.Parse()
+
+	base := core.Config{
+		Levels:           *levels,
+		BER:              *ber,
+		BurstProb:        *burst,
+		InternalFlipProb: *internal,
+		Seed:             *seed,
+	}
+
+	if *compare {
+		results := core.RunComparison(base, *n)
+		for _, p := range []link.Protocol{link.ProtocolCXL, link.ProtocolCXLNoPiggyback, link.ProtocolRXL} {
+			fmt.Println(results[p])
+		}
+		return
+	}
+
+	p, err := parseProto(*proto)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	base.Protocol = p
+	fabric, err := core.NewFabric(base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	exp := core.Experiment{Fabric: fabric, N: *n}
+	res := exp.Run()
+	fmt.Println(res)
+
+	fc := res.Failures
+	fmt.Printf("failure taxonomy: Fail_data=%d Fail_order=%d duplicates=%d missing=%d\n",
+		fc.FailData, fc.FailOrder, fc.Duplicates, fc.Missing)
+	fmt.Printf("link A: sent=%d data=%d retx=%d acks_rx=%d naks_rx=%d\n",
+		res.LinkA.FlitsSent, res.LinkA.DataFlitsSent, res.LinkA.Retransmissions,
+		res.LinkA.AcksReceived, res.LinkA.NaksReceived)
+	fmt.Printf("link B: rx=%d fec_corrected=%d crc_errors=%d unverified=%d\n",
+		res.LinkB.FlitsReceived, res.LinkB.FecCorrectedFlits, res.LinkB.CrcErrors,
+		res.LinkB.UnverifiedDelivered)
+	fmt.Printf("switches: in=%d fwd=%d dropped_uc=%d dropped_crc=%d corrected=%d internal=%d\n",
+		res.Switches.FlitsIn, res.Switches.Forwarded, res.Switches.DroppedUncorrectable,
+		res.Switches.DroppedCRC, res.Switches.CorrectedFlits, res.Switches.InternalCorruptions)
+	fmt.Printf("bandwidth: goodput_loss=%.4f%% ack_overhead=%.4f retry_overhead=%.4f utilization=%.3f\n",
+		100*res.Goodput.BWLoss, res.Goodput.AckOverhead, res.Goodput.RetryOverhead,
+		res.ForwardUtilization)
+
+	if !fc.Clean() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/link"
+)
+
+func TestParseProto(t *testing.T) {
+	cases := []struct {
+		in   string
+		want link.Protocol
+		ok   bool
+	}{
+		{"cxl", link.ProtocolCXL, true},
+		{"cxl-nopb", link.ProtocolCXLNoPiggyback, true},
+		{"rxl", link.ProtocolRXL, true},
+		{"tcp", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseProto(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("parseProto(%q) = %v, %v", c.in, got, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseProto(%q) accepted", c.in)
+		}
+	}
+}

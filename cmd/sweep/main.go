@@ -1,0 +1,105 @@
+// Command sweep regenerates every table and figure of the paper's
+// evaluation in one run: the Section 7.1 reliability numbers, the Fig. 8
+// FIT sweep, the Section 7.2 bandwidth table, the Section 7.3 hardware
+// cost, the deterministic Fig. 4/5 failure scenarios, and the Monte-Carlo
+// cross-checks backing the analytic model. Its output is the source of
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	sweep [-mc] [-n 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hwcost"
+	"repro/internal/link"
+	"repro/internal/perf"
+	"repro/internal/reliability"
+)
+
+func header(title string) {
+	fmt.Println()
+	fmt.Println(title)
+	for range title {
+		fmt.Print("=")
+	}
+	fmt.Println()
+}
+
+func main() {
+	mc := flag.Bool("mc", true, "run the Monte-Carlo cross-checks")
+	n := flag.Int("n", 20000, "payloads per live simulation")
+	flag.Parse()
+
+	rel := reliability.DefaultParams()
+	pf := perf.DefaultParams()
+
+	header("Section 7.1 — reliability (Eq. 1-10)")
+	fmt.Printf("Eq. 1  FER                 %.3g   (paper: 2.0e-3)\n", rel.FER())
+	fmt.Printf("Eq. 3  p_correct           %.4f   (paper: >0.985)\n", rel.PCorrect())
+	fmt.Printf("Eq. 4  FER_UD direct       %.3g   (paper: 1.6e-24)\n", rel.FERUndetectedDirect())
+	fmt.Printf("Eq. 5  FIT direct          %.3g   (paper: 2.9e-3)\n", rel.FITDirect())
+	fmt.Printf("Eq. 7  FER_order 1-switch  %.3g   (paper: 3.0e-6)\n", rel.FEROrder(1))
+	fmt.Printf("Eq. 8  FIT CXL 1-switch    %.3g   (paper: 5.4e15)\n", rel.FITCXL(1))
+	fmt.Printf("Eq. 10 FIT RXL 1-switch    %.3g   (paper: 2.9e-3)\n", rel.FITRXL(1))
+	fmt.Printf("       improvement         %.3g   (paper: >1e18)\n", rel.Improvement(1))
+
+	header("Fig. 8 — FIT vs switching levels")
+	fmt.Println("levels       FIT_CXL       FIT_RXL")
+	for _, pt := range rel.Fig8(8) {
+		fmt.Printf("%6d  %12.3g  %12.3g\n", pt.Levels, pt.FITCXL, pt.FITRXL)
+	}
+
+	header("Section 7.2 — bandwidth loss (Eq. 11-14)")
+	fmt.Printf("%-30s %9s %8s\n", "scheme", "BW loss", "ordered")
+	for _, r := range pf.Table() {
+		fmt.Printf("%-30s %8.4f%% %8v\n", r.Scheme, 100*r.BWLoss, r.Ordered)
+	}
+
+	header("Section 7.3 — ISN hardware cost")
+	fmt.Println(hwcost.DefaultReport())
+
+	header("Fig. 4 — link-layer drop scenario (deterministic)")
+	for _, p := range []link.Protocol{link.ProtocolCXL, link.ProtocolCXLNoPiggyback, link.ProtocolRXL} {
+		rep := core.RunFig4(p)
+		fmt.Printf("%-9s misordered=%-5v unverified=%d isn_detects=%d drops=%d tags=%v\n",
+			p, rep.Misordered, rep.UnverifiedDelivered, rep.CrcErrors, rep.SwitchDrops, rep.Tags)
+	}
+
+	header("Fig. 5a — duplicate request execution (deterministic)")
+	for _, p := range []link.Protocol{link.ProtocolCXL, link.ProtocolRXL} {
+		rep := core.RunFig5a(p)
+		fmt.Printf("%-9s dup_exec=%d dup_data=%d completed=%d/%d isn_detects=%d\n",
+			p, rep.DuplicateExecutions, rep.DuplicateData, rep.Completed, rep.Issued, rep.LinkCrcErrors)
+	}
+
+	header("Fig. 5b — out-of-order data within a CQID (deterministic)")
+	for _, p := range []link.Protocol{link.ProtocolCXL, link.ProtocolRXL} {
+		rep := core.RunFig5b(p)
+		fmt.Printf("%-9s out_of_order=%d completed=%d/%d isn_detects=%d\n",
+			p, rep.OutOfOrderData, rep.Completed, rep.Issued, rep.LinkCrcErrors)
+	}
+
+	header("Live simulation — protocol comparison under BER")
+	fmt.Printf("(n=%d payloads, 1 switching level, accelerated BER 1e-5)\n", *n)
+	results := core.RunComparison(core.Config{Levels: 1, BER: 1e-5, BurstProb: 0.4, Seed: 7}, *n)
+	for _, p := range []link.Protocol{link.ProtocolCXL, link.ProtocolCXLNoPiggyback, link.ProtocolRXL} {
+		fmt.Println(results[p])
+	}
+
+	if *mc {
+		header("Monte-Carlo cross-checks")
+		s := reliability.MeasureFER(5e-4, 20000, 42)
+		fmt.Printf("Eq. 1 at BER=5e-4: measured FER %.4f vs analytic %.4f\n", s.FER, s.Analytic)
+		for _, b := range []int{3, 4, 5, 6} {
+			o := reliability.MeasureFECBurst(b, 20000, uint64(b)*977)
+			fmt.Printf("FEC %dB bursts: corrected=%d detected=%d miscorrected=%d detection=%.4f\n",
+				b, o.Corrected, o.Detected, o.Miscorrected, o.DetectionRate())
+		}
+		fmt.Println("(paper Section 2.5: detection 2/3 at 4B, 8/9 at 5B, 26/27 at >=6B)")
+	}
+}

@@ -1,0 +1,77 @@
+package rxl_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Running the paper's headline comparison: the same silent-drop script
+// under baseline CXL and under RXL.
+func ExampleRunFig4() {
+	cxl := rxl.RunFig4(rxl.CXL)
+	rxlRep := rxl.RunFig4(rxl.RXL)
+	fmt.Println("CXL misordered:", cxl.Misordered)
+	fmt.Println("RXL misordered:", rxlRep.Misordered)
+	fmt.Println("RXL detected drops via ISN:", rxlRep.CrcErrors > 0)
+	// Output:
+	// CXL misordered: true
+	// RXL misordered: false
+	// RXL detected drops via ISN: true
+}
+
+// Evaluating the analytic model at the paper's parameters.
+func ExampleReliability() {
+	r := rxl.DefaultReliability()
+	fmt.Printf("FER            %.2g\n", r.FER())
+	fmt.Printf("FIT direct     %.2g\n", r.FITDirect())
+	fmt.Printf("FIT CXL 1-sw   %.2g\n", r.FITCXL(1))
+	fmt.Printf("FIT RXL 1-sw   %.2g\n", r.FITRXL(1))
+	// Output:
+	// FER            0.002
+	// FIT direct     0.0029
+	// FIT CXL 1-sw   5.4e+15
+	// FIT RXL 1-sw   0.0059
+}
+
+// A complete simulation: RXL across two switching levels with live error
+// injection, verified exactly-once in-order delivery.
+func ExampleExperiment() {
+	fabric := rxl.MustNewFabric(rxl.Config{
+		Protocol: rxl.RXL,
+		Levels:   2,
+		BER:      1e-5,
+		Seed:     1,
+	})
+	exp := rxl.Experiment{Fabric: fabric, N: 1000}
+	res := exp.Run()
+	fmt.Println("delivered:", res.Failures.Delivered)
+	fmt.Println("clean:", res.Failures.Clean())
+	// Output:
+	// delivered: 1000
+	// clean: true
+}
+
+// The Section 7.2 bandwidth table.
+func ExamplePerformance() {
+	p := rxl.DefaultPerformance()
+	fmt.Printf("direct:       %.2f%%\n", 100*p.BWLossDirect())
+	fmt.Printf("switched:     %.2f%%\n", 100*p.BWLossSwitched(1))
+	fmt.Printf("no piggyback: %.0f%%\n", 100*p.BWLossNoPiggyback())
+	// Output:
+	// direct:       0.15%
+	// switched:     0.30%
+	// no piggyback: 10%
+}
+
+// The Section 7.3 hardware pricing.
+func ExampleHardwareReport() {
+	hw := rxl.DefaultHardwareReport()
+	fmt.Println("extra XOR gates per fold:", hw.ISNExtraXORs)
+	fmt.Println("extra logic depth:", hw.ISNExtraDepth)
+	fmt.Println("comparator gates removed:", hw.ComparatorRemoved.Gates())
+	// Output:
+	// extra XOR gates per fold: 10
+	// extra logic depth: 1
+	// comparator gates removed: 19
+}

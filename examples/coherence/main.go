@@ -1,0 +1,50 @@
+// Coherence: the transaction-layer consequences of silent flit drops
+// (Fig. 5a and Fig. 5b).
+//
+// A device issues cache-line reads to a host across one switch. One
+// request- or data-carrying flit is dropped in the switch while its
+// successor carries a piggybacked acknowledgment:
+//
+//   - Fig. 5a: under CXL the go-back-N replay re-delivers a request the
+//     host already executed — duplicate execution, the "A, C, B, C"
+//     inconsistency.
+//   - Fig. 5b: under CXL data sharing a command queue (CQID) arrives out
+//     of order, which applications observe as misaligned data.
+//
+// RXL runs the identical scripts without any transaction-layer anomaly.
+//
+// Run with:
+//
+//	go run ./examples/coherence
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("Fig. 5a: duplicate request execution")
+	fmt.Println("------------------------------------")
+	for _, p := range []rxl.Protocol{rxl.CXL, rxl.RXL} {
+		rep := rxl.RunFig5a(p)
+		fmt.Printf("%-9v issued=%d completed=%d duplicate_executions=%d duplicate_data=%d\n",
+			p, rep.Issued, rep.Completed, rep.DuplicateExecutions, rep.DuplicateData)
+	}
+	fmt.Println()
+
+	fmt.Println("Fig. 5b: out-of-order data within one CQID")
+	fmt.Println("------------------------------------------")
+	for _, p := range []rxl.Protocol{rxl.CXL, rxl.RXL} {
+		rep := rxl.RunFig5b(p)
+		fmt.Printf("%-9v issued=%d completed=%d out_of_order_data=%d\n",
+			p, rep.Issued, rep.Completed, rep.OutOfOrderData)
+	}
+	fmt.Println()
+
+	fmt.Println("Under CXL the failures escape the link layer: the host executes a")
+	fmt.Println("request twice, and same-queue data arrives misordered. Under RXL the")
+	fmt.Println("ISN-bearing end-to-end CRC catches the drop before any message is")
+	fmt.Println("handed to the transaction layer.")
+}

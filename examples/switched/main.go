@@ -1,0 +1,42 @@
+// Switched: the paper's core failure demonstration (Fig. 4).
+//
+// A host and device communicate through one switch. The switch silently
+// drops a flit whose successor carries a piggybacked acknowledgment
+// instead of its own sequence number. Under baseline CXL the endpoint
+// forwards the successor unverified — out-of-order delivery reaches the
+// application. Under RXL the same drop trips the implicit-sequence-number
+// CRC check and the go-back-N replay restores perfect order.
+//
+// Run with:
+//
+//	go run ./examples/switched
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func show(name string, rep rxl.Fig4Report) {
+	fmt.Printf("%s\n", name)
+	fmt.Printf("  delivery order:        %v\n", rep.Tags)
+	fmt.Printf("  switch drops:          %d\n", rep.SwitchDrops)
+	fmt.Printf("  unverified forwards:   %d (the piggyback blind spot)\n", rep.UnverifiedDelivered)
+	fmt.Printf("  ISN/CRC detections:    %d\n", rep.CrcErrors)
+	fmt.Printf("  misordered:            %v\n", rep.Misordered)
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("Fig. 4: a switch silently drops flit #1; flit #2 carries an AckNum.")
+	fmt.Println("Expected clean order: [0 1 2 3] (tag 100 travels upstream).")
+	fmt.Println()
+
+	show("CXL (ACK piggybacking)", rxl.RunFig4(rxl.CXL))
+	show("CXL without piggybacking (explicit FSNs, costly ACK flits)", rxl.RunFig4(rxl.CXLNoPiggyback))
+	show("RXL (implicit sequence numbers)", rxl.RunFig4(rxl.RXL))
+
+	fmt.Println("CXL delivers tag 2 before tag 1 — the paper's A, C, B, C sequence.")
+	fmt.Println("RXL detects the drop at the very next flit and replays; order holds.")
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flit"
+	"repro/internal/link"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Protocol: link.ProtocolRXL, Levels: 2, BER: 1e-6, BurstProb: 0.4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Levels: -1},
+		{BER: -1},
+		{BER: 2},
+		{BurstProb: 1},
+		{InternalFlipProb: -0.1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: accepted %+v", i, c)
+		}
+	}
+}
+
+func TestNewFabricRejectsInvalid(t *testing.T) {
+	if _, err := NewFabric(Config{Levels: -3}); err == nil {
+		t.Fatal("no error")
+	}
+}
+
+func TestMustNewFabricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustNewFabric(Config{Levels: -3})
+}
+
+func TestSealedPayloadRoundTrip(t *testing.T) {
+	f := func(tag uint64) bool {
+		p := SealedPayload(tag)
+		return trace.TagOf(p) == tag && PayloadIntact(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPayloadIntactDetectsCorruption(t *testing.T) {
+	p := SealedPayload(42)
+	p[20] ^= 0x01
+	if PayloadIntact(p) {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestCollectorCleanRun(t *testing.T) {
+	c := NewCollector(5)
+	for i := uint64(0); i < 5; i++ {
+		c.Deliver(SealedPayload(i))
+	}
+	fc := c.Finish()
+	if !fc.Clean() || fc.Delivered != 5 {
+		t.Fatalf("counts: %+v", fc)
+	}
+}
+
+func TestCollectorCountsFailures(t *testing.T) {
+	c := NewCollector(4)
+	c.Deliver(SealedPayload(0))
+	c.Deliver(SealedPayload(2)) // skip: out of order
+	c.Deliver(SealedPayload(2)) // duplicate
+	bad := SealedPayload(3)
+	bad[16] ^= 0xFF
+	c.Deliver(bad) // corrupt
+	fc := c.Finish()
+	if fc.FailOrder == 0 || fc.Duplicates != 1 || fc.FailData != 1 {
+		t.Fatalf("counts: %+v", fc)
+	}
+	if fc.Missing != 1 { // tag 1 never arrived
+		t.Fatalf("missing = %d, want 1", fc.Missing)
+	}
+	if fc.Clean() {
+		t.Fatal("Clean() on dirty counts")
+	}
+}
+
+// TestExperimentCleanChannels: every protocol delivers exactly-once
+// in-order over error-free fabrics at every switching depth.
+func TestExperimentCleanChannels(t *testing.T) {
+	for _, proto := range []link.Protocol{link.ProtocolCXL, link.ProtocolCXLNoPiggyback, link.ProtocolRXL} {
+		for _, levels := range []int{0, 1, 3} {
+			exp := Experiment{
+				Fabric: MustNewFabric(Config{Protocol: proto, Levels: levels}),
+				N:      500,
+			}
+			res := exp.Run()
+			if !res.Failures.Clean() {
+				t.Errorf("%v L%d: %+v", proto, levels, res.Failures)
+			}
+			if res.Failures.Delivered != 500 {
+				t.Errorf("%v L%d: delivered %d", proto, levels, res.Failures.Delivered)
+			}
+			if res.Elapsed == 0 {
+				t.Errorf("%v L%d: no simulated time elapsed", proto, levels)
+			}
+		}
+	}
+}
+
+// TestExperimentRXLUnderBER: RXL survives a noisy two-switch fabric with
+// exactly-once in-order delivery.
+func TestExperimentRXLUnderBER(t *testing.T) {
+	exp := Experiment{
+		Fabric: MustNewFabric(Config{
+			Protocol: link.ProtocolRXL, Levels: 2,
+			BER: 1e-5, BurstProb: 0.4, Seed: 1234,
+		}),
+		N: 4000,
+	}
+	res := exp.Run()
+	if !res.Failures.Clean() {
+		t.Fatalf("RXL failed under BER: %+v\n%s", res.Failures, res)
+	}
+	if res.LinkA.Retransmissions == 0 && res.Switches.DroppedUncorrectable == 0 &&
+		res.LinkB.FecCorrectedFlits == 0 {
+		t.Log("note: channel injected no observable errors at this seed")
+	}
+}
+
+// TestExperimentCXLNoPiggybackUnderBER: explicit sequence numbers also
+// deliver exactly-once (at the ACK bandwidth cost).
+func TestExperimentCXLNoPiggybackUnderBER(t *testing.T) {
+	exp := Experiment{
+		Fabric: MustNewFabric(Config{
+			Protocol: link.ProtocolCXLNoPiggyback, Levels: 1,
+			BER: 1e-5, BurstProb: 0.4, Seed: 99,
+		}),
+		N: 4000,
+	}
+	res := exp.Run()
+	if !res.Failures.Clean() {
+		t.Fatalf("no-piggyback CXL failed: %+v", res.Failures)
+	}
+}
+
+// TestExperimentCXLOrderingFailuresUnderDrops: with scripted drops at the
+// switch, bidirectional traffic (so forward flits piggyback ACKs for the
+// reverse stream), and maximal acking, baseline CXL exhibits ordering
+// failures while RXL does not — the Section 7.1 comparison, simulated.
+func TestExperimentCXLOrderingFailuresUnderDrops(t *testing.T) {
+	run := func(proto link.Protocol) FailureCounts {
+		cfg := link.DefaultConfig(proto)
+		cfg.CoalesceCount = 1 // every delivery acks: maximal piggybacking
+		f := MustNewFabric(Config{Protocol: proto, Levels: 1, LinkConfig: &cfg})
+
+		const n = 200
+		col := NewCollector(n)
+		f.B().Deliver = col.Deliver
+
+		// Drop every 20th forward data flit at the switch ingress.
+		drops := 0
+		f.Chain.Fwd[0].FaultHook = func(fl *flit.Flit) bool {
+			if fl.Header().Type == flit.TypeData {
+				drops++
+				return drops%20 == 10
+			}
+			return false
+		}
+
+		// Interleaved bidirectional traffic: the reverse stream keeps
+		// acknowledgments pending at A, so forward data flits routinely
+		// carry AckNums — the piggyback blind spot under test.
+		for i := 0; i < n; i++ {
+			tag := uint64(i)
+			f.Eng.Schedule(sim.Time(i)*50*sim.Nanosecond, func() {
+				f.A().Submit(SealedPayload(tag))
+			})
+			f.Eng.Schedule(sim.Time(i)*50*sim.Nanosecond+25*sim.Nanosecond, func() {
+				f.B().Submit(SealedPayload(1000 + tag))
+			})
+		}
+		f.Run()
+		return col.Finish()
+	}
+
+	cxl := run(link.ProtocolCXL)
+	rxl := run(link.ProtocolRXL)
+	if cxl.FailOrder == 0 && cxl.Duplicates == 0 && cxl.Missing == 0 {
+		t.Errorf("CXL with piggybacking showed no delivery hazard: %+v", cxl)
+	}
+	if !rxl.Clean() {
+		t.Errorf("RXL not clean under the same drops: %+v", rxl)
+	}
+}
+
+func TestRunComparisonCovailsAllProtocols(t *testing.T) {
+	res := RunComparison(Config{Levels: 1, Seed: 5}, 200)
+	if len(res) != 3 {
+		t.Fatalf("%d results", len(res))
+	}
+	for proto, r := range res {
+		if r.Failures.Delivered == 0 {
+			t.Errorf("%v delivered nothing", proto)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	exp := Experiment{Fabric: MustNewFabric(Config{Protocol: link.ProtocolRXL}), N: 10}
+	if exp.Run().String() == "" {
+		t.Fatal("empty result string")
+	}
+}
+
+func TestExperimentPanicsOnZeroN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	(&Experiment{Fabric: MustNewFabric(Config{})}).Run()
+}
+
+func TestFabricDeterminism(t *testing.T) {
+	run := func() Result {
+		exp := Experiment{
+			Fabric: MustNewFabric(Config{Protocol: link.ProtocolRXL, Levels: 1, BER: 2e-5, Seed: 77}),
+			N:      1500,
+		}
+		return exp.Run()
+	}
+	a, b := run(), run()
+	if a.LinkA != b.LinkA || a.Failures != b.Failures || a.Elapsed != b.Elapsed {
+		t.Fatal("equal seeds gave different runs")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/link"
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/switchfab"
+)
+
+// Result is the full accounting of one end-to-end experiment.
+type Result struct {
+	Cfg      Config
+	Offered  int // payloads injected at A
+	Failures FailureCounts
+
+	// LinkA and LinkB are the endpoint link-layer statistics.
+	LinkA, LinkB link.Stats
+	// Switches aggregates the switch statistics over all levels.
+	Switches switchfab.Stats
+	// Goodput is the measured bandwidth accounting at the transmitter.
+	Goodput perf.MeasuredGoodput
+	// Elapsed is the simulated duration.
+	Elapsed sim.Time
+	// ForwardUtilization is the busy fraction of the first forward wire.
+	ForwardUtilization float64
+}
+
+// String summarizes the result on one line.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"%s L%d BER=%g: offered=%d delivered=%d dup=%d ooo=%d corrupt=%d missing=%d drops=%d retx=%d bwloss=%.4f t=%dns",
+		r.Cfg.Protocol, r.Cfg.Levels, r.Cfg.BER,
+		r.Offered, r.Failures.Delivered, r.Failures.Duplicates,
+		r.Failures.FailOrder, r.Failures.FailData, r.Failures.Missing,
+		r.Switches.DroppedUncorrectable, r.LinkA.Retransmissions,
+		r.Goodput.BWLoss, r.Elapsed/sim.Nanosecond)
+}
+
+// Experiment drives a payload workload through a fabric and produces the
+// failure/performance accounting.
+type Experiment struct {
+	Fabric *Fabric
+	// N is the number of line-rate payloads to offer (one per FlitTime).
+	N int
+	// Hooks, when non-nil, runs after the fabric is built and before
+	// traffic starts — the place to install scripted faults.
+	Hooks func(*Fabric)
+}
+
+// Run executes the experiment to quiescence and returns the result.
+func (e *Experiment) Run() Result {
+	if e.N <= 0 {
+		panic("core: experiment needs N > 0")
+	}
+	f := e.Fabric
+	if e.Hooks != nil {
+		e.Hooks(f)
+	}
+
+	col := NewCollector(e.N)
+	f.B().Deliver = col.Deliver
+
+	for i := 0; i < e.N; i++ {
+		f.A().Submit(SealedPayload(uint64(i)))
+	}
+	f.Run()
+
+	res := Result{
+		Cfg:      f.Cfg,
+		Offered:  e.N,
+		Failures: col.Finish(),
+		LinkA:    f.A().Stats,
+		LinkB:    f.B().Stats,
+		Switches: f.Chain.TotalSwitchStats(),
+		Goodput:  perf.MeasureGoodput(f.A().Stats),
+		Elapsed:  f.Eng.Now(),
+	}
+	if len(f.Chain.Fwd) > 0 {
+		res.ForwardUtilization = f.Chain.Fwd[0].Utilization()
+	}
+	return res
+}
+
+// RunComparison runs the same workload and seed across the three protocol
+// variants at the given configuration, returning the results keyed by
+// protocol — the core of the paper's CXL-vs-RXL tables.
+func RunComparison(base Config, n int) map[link.Protocol]Result {
+	out := make(map[link.Protocol]Result, 3)
+	for _, proto := range []link.Protocol{link.ProtocolCXL, link.ProtocolCXLNoPiggyback, link.ProtocolRXL} {
+		cfg := base
+		cfg.Protocol = proto
+		cfg.LinkConfig = nil // protocol-correct defaults per variant
+		exp := Experiment{Fabric: MustNewFabric(cfg), N: n}
+		out[proto] = exp.Run()
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/link"
+)
+
+// These tests are the statistical version of Section 6.3: corruption in
+// the switch datapath — after the ingress checks, before egress
+// re-encoding. Under CXL the switch regenerates the link CRC, blessing
+// the corruption; under RXL the end-to-end ECRC carries it to the
+// endpoint where ISN validation catches it and the retry repairs it.
+
+func runInternal(t *testing.T, proto link.Protocol, n int) Result {
+	t.Helper()
+	exp := Experiment{
+		Fabric: MustNewFabric(Config{
+			Protocol:         proto,
+			Levels:           1,
+			InternalFlipProb: 0.01, // 1% of flits corrupted inside the switch
+			Seed:             1717,
+		}),
+		N: n,
+	}
+	return exp.Run()
+}
+
+func TestInternalCorruptionAtScaleCXL(t *testing.T) {
+	res := runInternal(t, link.ProtocolCXL, 3000)
+	if res.Switches.InternalCorruptions == 0 {
+		t.Fatal("no internal corruption injected")
+	}
+	// The blessed corruption reaches the application as Fail_data. (Flips
+	// landing in the 2-byte header can cause other anomalies — missing or
+	// misordered flits — so only FailData is asserted.)
+	if res.Failures.FailData == 0 {
+		t.Fatalf("CXL delivered no corrupted payloads despite %d internal corruptions: %+v",
+			res.Switches.InternalCorruptions, res.Failures)
+	}
+	// The endpoint CRC cannot see switch-internal corruption: almost all
+	// corrupted flits pass (a header flip can change the type field, so a
+	// handful of CRC errors may still occur).
+	if res.LinkB.CrcErrors > res.Switches.InternalCorruptions/4 {
+		t.Errorf("CXL endpoint flagged %d of %d internal corruptions; the link CRC should be blind to them",
+			res.LinkB.CrcErrors, res.Switches.InternalCorruptions)
+	}
+}
+
+func TestInternalCorruptionAtScaleRXL(t *testing.T) {
+	res := runInternal(t, link.ProtocolRXL, 3000)
+	if res.Switches.InternalCorruptions == 0 {
+		t.Fatal("no internal corruption injected")
+	}
+	if !res.Failures.Clean() {
+		t.Fatalf("RXL let switch-internal corruption through: %+v", res.Failures)
+	}
+	if res.LinkB.CrcErrors == 0 {
+		t.Fatal("RXL endpoint never flagged the corruption")
+	}
+	if res.LinkA.Retransmissions == 0 {
+		t.Fatal("no retries repaired the corruption")
+	}
+}
+
+// TestInternalCorruptionRatio quantifies the comparison for EXPERIMENTS.md:
+// the CXL escape rate should be the injection rate, while RXL's is zero.
+func TestInternalCorruptionRatio(t *testing.T) {
+	cxl := runInternal(t, link.ProtocolCXL, 3000)
+	rate := float64(cxl.Failures.FailData) / float64(cxl.Offered)
+	if rate < 0.002 || rate > 0.02 {
+		t.Errorf("CXL corrupted-delivery rate %.4f implausible for 1%% injection", rate)
+	}
+	rxl := runInternal(t, link.ProtocolRXL, 3000)
+	if rxl.Failures.FailData != 0 {
+		t.Errorf("RXL corrupted-delivery rate nonzero: %d", rxl.Failures.FailData)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/link"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/switchfab"
+)
+
+// Star is the multi-device topology of scale-out deployments: one host
+// and N devices joined by a crossbar switch. Each device has its own
+// link-layer connection to the host (the crossbar routes flits by
+// destination tag), so the host terminates N independent sequence
+// streams — the configuration where silent drops in the shared switch
+// threaten many transaction flows at once.
+type Star struct {
+	Cfg Config
+	Eng *sim.Engine
+	// Crossbar is the shared switching element.
+	Crossbar *switchfab.Crossbar
+	// Host holds the host-side peer for each device (indexed 1..N).
+	Host map[byte]*link.Peer
+	// Dev holds each device's peer (indexed 1..N).
+	Dev map[byte]*link.Peer
+	// Wires lists every wire for fault/channel attachment.
+	Wires []*link.Wire
+}
+
+// hostTag is the routing tag of the host endpoint.
+const hostTag byte = 0
+
+// NewStar builds a star fabric with n devices. The Config's Levels field
+// is ignored (the topology is host–crossbar–device); everything else
+// (protocol, BER, seed, timing) applies per link.
+func NewStar(cfg Config, n int) (*Star, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 || n > 250 {
+		return nil, fmt.Errorf("core: star needs 1..250 devices, got %d", n)
+	}
+
+	eng := sim.NewEngine()
+	rng := phy.NewRNG(cfg.Seed)
+	ser, prop, lat := sim.FlitTime, 10*sim.Nanosecond, 5*sim.Nanosecond
+	if cfg.Serialization > 0 {
+		ser = cfg.Serialization
+	}
+	if cfg.Propagation > 0 {
+		prop = cfg.Propagation
+	}
+	if cfg.SwitchLatency > 0 {
+		lat = cfg.SwitchLatency
+	}
+
+	mode := switchfab.ModeCXL
+	if cfg.Protocol == link.ProtocolRXL {
+		mode = switchfab.ModeRXL
+	}
+	s := &Star{
+		Cfg:      cfg,
+		Eng:      eng,
+		Crossbar: switchfab.NewCrossbar("X", eng, mode, lat),
+		Host:     make(map[byte]*link.Peer),
+		Dev:      make(map[byte]*link.Peer),
+	}
+	if cfg.InternalFlipProb > 0 {
+		s.Crossbar.SeedInternalFaults(cfg.InternalFlipProb, rng.Split())
+	}
+
+	mkWire := func(deliver func(*flit.Flit)) *link.Wire {
+		w := link.NewWire(eng, ser, prop, deliver)
+		if cfg.BER > 0 {
+			w.Channel = phy.NewChannel(cfg.BER, cfg.BurstProb, rng.Split())
+		}
+		s.Wires = append(s.Wires, w)
+		return w
+	}
+
+	mkCfg := func(src, dst byte) link.Config {
+		c := link.DefaultConfig(cfg.Protocol)
+		if cfg.LinkConfig != nil {
+			c = *cfg.LinkConfig
+			c.Protocol = cfg.Protocol
+		}
+		c.StampRoute = true
+		c.SrcTag = src
+		c.RouteTag = dst
+		return c
+	}
+
+	// One shared physical wire host→crossbar; the crossbar returns flits
+	// to the host on a wire that demuxes by source tag.
+	hostToX := mkWire(s.Crossbar.Ingress())
+	xToHost := mkWire(func(f *flit.Flit) {
+		if p, ok := s.Host[f.Payload()[flit.SrcRouteOffset]]; ok {
+			p.Receive(f)
+		}
+	})
+	s.Crossbar.SetRoute(hostTag, xToHost)
+
+	for i := 1; i <= n; i++ {
+		d := byte(i)
+		hp := link.NewPeer(fmt.Sprintf("host-%d", d), eng, mkCfg(hostTag, d))
+		hp.Attach(hostToX)
+		s.Host[d] = hp
+
+		dp := link.NewPeer(fmt.Sprintf("dev-%d", d), eng, mkCfg(d, hostTag))
+		xToDev := mkWire(dp.Receive)
+		devToX := mkWire(s.Crossbar.Ingress())
+		dp.Attach(devToX)
+		s.Crossbar.SetRoute(d, xToDev)
+		s.Dev[d] = dp
+	}
+	return s, nil
+}
+
+// MustNewStar is NewStar panicking on error.
+func MustNewStar(cfg Config, n int) *Star {
+	s, err := NewStar(cfg, n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Run drains the event queue.
+func (s *Star) Run() { s.Eng.Run() }
+
+// Devices returns the device IDs in ascending order.
+func (s *Star) Devices() []byte {
+	out := make([]byte, 0, len(s.Dev))
+	for i := 1; i <= len(s.Dev); i++ {
+		out = append(out, byte(i))
+	}
+	return out
+}

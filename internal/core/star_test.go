@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transaction"
+)
+
+func TestStarValidation(t *testing.T) {
+	if _, err := NewStar(Config{Levels: -1}, 2); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := NewStar(Config{}, 0); err == nil {
+		t.Error("zero devices accepted")
+	}
+	if _, err := NewStar(Config{}, 251); err == nil {
+		t.Error("too many devices accepted")
+	}
+}
+
+func TestMustNewStarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustNewStar(Config{}, 0)
+}
+
+// TestStarCleanBidirectional: every device exchanges an in-order stream
+// with the host through the shared crossbar, error-free.
+func TestStarCleanBidirectional(t *testing.T) {
+	for _, proto := range []link.Protocol{link.ProtocolCXLNoPiggyback, link.ProtocolRXL} {
+		s := MustNewStar(Config{Protocol: proto}, 3)
+		const n = 150
+
+		toDev := map[byte]*trace.Checker{}
+		toHost := map[byte]*trace.Checker{}
+		for _, d := range s.Devices() {
+			toDev[d] = trace.NewChecker()
+			toHost[d] = trace.NewChecker()
+			s.Dev[d].Deliver = toDev[d].Deliver
+			s.Host[d].Deliver = toHost[d].Deliver
+		}
+		for i := uint64(0); i < n; i++ {
+			for _, d := range s.Devices() {
+				s.Host[d].Submit(trace.TagPayload(i, 16))
+				s.Dev[d].Submit(trace.TagPayload(i, 16))
+			}
+		}
+		s.Run()
+
+		for _, d := range s.Devices() {
+			if !toDev[d].Clean() || toDev[d].Delivered != n {
+				t.Errorf("%v dev %d: %+v", proto, d, toDev[d])
+			}
+			if !toHost[d].Clean() || toHost[d].Delivered != n {
+				t.Errorf("%v host<-%d: %+v", proto, d, toHost[d])
+			}
+		}
+	}
+}
+
+// TestStarRXLUnderBER: the full star survives live error injection with
+// exactly-once in-order delivery on every stream.
+func TestStarRXLUnderBER(t *testing.T) {
+	s := MustNewStar(Config{Protocol: link.ProtocolRXL, BER: 1e-5, BurstProb: 0.4, Seed: 8}, 3)
+	const n = 800
+
+	checkers := map[byte]*trace.Checker{}
+	for _, d := range s.Devices() {
+		checkers[d] = trace.NewChecker()
+		s.Dev[d].Deliver = checkers[d].Deliver
+	}
+	for i := uint64(0); i < n; i++ {
+		for _, d := range s.Devices() {
+			s.Host[d].Submit(trace.TagPayload(i, 16))
+		}
+	}
+	s.Run()
+
+	for _, d := range s.Devices() {
+		c := checkers[d]
+		if !c.Clean() || c.Delivered != n {
+			t.Errorf("dev %d: delivered=%d ooo=%d dup=%d", d, c.Delivered, c.OutOfOrder, c.Duplicates)
+		}
+	}
+	if s.Crossbar.Stats.DroppedNoRoute != 0 {
+		t.Errorf("crossbar lost %d flits to corrupted routes", s.Crossbar.Stats.DroppedNoRoute)
+	}
+}
+
+// TestStarCoherenceOverFabricRXL runs the MESI-lite protocol across the
+// full simulated stack — caches at the devices, directory at the host,
+// messages packed into flits, flits through the noisy crossbar under RXL
+// — and audits the global coherence invariants at quiescence. This is the
+// paper's end-to-end claim: with ISN the transaction layer above never
+// observes the interconnect's errors.
+func TestStarCoherenceOverFabricRXL(t *testing.T) {
+	s := MustNewStar(Config{Protocol: link.ProtocolRXL, BER: 5e-6, BurstProb: 0.4, Seed: 21}, 3)
+
+	// Directory at the host: one message endpoint per device link.
+	dirEPs := map[byte]*MessageEndpoint{}
+	var dir *transaction.Directory
+	dir = transaction.NewDirectory(func(to uint8, m transaction.Message) {
+		dirEPs[to].Send(m)
+	})
+
+	caches := map[byte]*transaction.Cache{}
+	var order []*transaction.Cache
+	for _, d := range s.Devices() {
+		d := d
+		dirEPs[d] = NewMessageEndpoint(s.Host[d], func(m transaction.Message) {
+			dir.OnMessage(d, m)
+		})
+		var devEP *MessageEndpoint
+		c := transaction.NewCache(d, func(m transaction.Message) { devEP.Send(m) })
+		devEP = NewMessageEndpoint(s.Dev[d], c.OnMessage)
+		caches[d] = c
+		order = append(order, c)
+	}
+
+	// Random read/write mix across a small shared address space, issued
+	// over simulated time so coherence actions interleave in flight.
+	state := uint64(0xABCDEF)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % n
+	}
+	for step := 0; step < 600; step++ {
+		d := s.Devices()[next(3)]
+		addr := uint64(next(16)) * 64
+		val := uint16(step)
+		c := caches[d]
+		s.Eng.Schedule(sim.Time(step)*20*sim.Nanosecond, func() {
+			if next(3) == 0 {
+				c.Write(addr, val)
+			} else {
+				c.Read(addr)
+			}
+		})
+	}
+	s.Run()
+
+	rep := dir.Audit(order)
+	if !rep.Clean() {
+		t.Fatalf("coherence violated across the fabric: %+v", rep)
+	}
+	// The channel must actually have exercised the error paths.
+	errs := uint64(0)
+	for _, d := range s.Devices() {
+		errs += s.Dev[d].Stats.FecCorrectedFlits + s.Dev[d].Stats.CrcErrors
+		errs += s.Host[d].Stats.FecCorrectedFlits + s.Host[d].Stats.CrcErrors
+	}
+	if errs == 0 {
+		t.Log("note: no channel errors at this seed; coherence check vacuous")
+	}
+}

@@ -1,0 +1,71 @@
+package flit
+
+import "repro/internal/crc"
+
+// Flit68 is the 68-byte low-latency flit defined by CXL 3.0 for reduced
+// speeds (Section 2.2). It carries a 2-byte header, 64-byte payload and a
+// 2-byte CRC, with no FEC — at lower signaling rates the raw BER makes FEC
+// unnecessary. The paper's evaluation centers on 256B flits ("68B flits are
+// limited to lower-speed modes and are unsuitable for high-performance
+// configurations", Section 4); Flit68 is provided for completeness and for
+// the overhead-comparison benchmarks.
+//
+// The 16-bit CRC is the truncation of the same CRC-64 engine; its escape
+// probability is 2^-16, which is why high-speed modes move to 256B flits.
+type Flit68 struct {
+	Raw [Size68]byte
+}
+
+// Geometry of the 68-byte flit.
+const (
+	Size68        = 68
+	PayloadSize68 = 64
+	CRCSize68     = 2
+
+	payload68Off = HeaderSize
+	crc68Off     = HeaderSize + PayloadSize68
+)
+
+// Header decodes the 2-byte header (same layout as the 256B flit).
+func (f *Flit68) Header() Header {
+	return UnpackHeader([2]byte{f.Raw[0], f.Raw[1]})
+}
+
+// SetHeader encodes h into the header bytes.
+func (f *Flit68) SetHeader(h Header) {
+	b := h.Pack()
+	f.Raw[0] = b[0]
+	f.Raw[1] = b[1]
+}
+
+// Payload returns the 64-byte payload region.
+func (f *Flit68) Payload() []byte { return f.Raw[payload68Off : payload68Off+PayloadSize68] }
+
+// CRCField returns the stored 16-bit CRC.
+func (f *Flit68) CRCField() uint16 {
+	return uint16(f.Raw[crc68Off])<<8 | uint16(f.Raw[crc68Off+1])
+}
+
+// Seal computes and stores the 16-bit CRC over header+payload.
+func (f *Flit68) Seal() {
+	sum := uint16(crc.Checksum(f.Raw[:crc68Off]))
+	f.Raw[crc68Off] = byte(sum >> 8)
+	f.Raw[crc68Off+1] = byte(sum)
+}
+
+// SealISN computes and stores the 16-bit ISN CRC with seq folded in.
+func (f *Flit68) SealISN(seq uint16) {
+	sum := uint16(crc.ChecksumISN(seq, f.Raw[:crc68Off]))
+	f.Raw[crc68Off] = byte(sum >> 8)
+	f.Raw[crc68Off+1] = byte(sum)
+}
+
+// CheckCRC verifies the stored CRC (plain semantics).
+func (f *Flit68) CheckCRC() bool {
+	return uint16(crc.Checksum(f.Raw[:crc68Off])) == f.CRCField()
+}
+
+// CheckCRCISN verifies the stored CRC against the expected sequence number.
+func (f *Flit68) CheckCRCISN(eseq uint16) bool {
+	return uint16(crc.ChecksumISN(eseq, f.Raw[:crc68Off])) == f.CRCField()
+}

@@ -1,0 +1,196 @@
+package hwcost
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crc"
+	"repro/internal/phy"
+)
+
+func TestXORTreeGatesAndDepth(t *testing.T) {
+	cases := []struct {
+		inputs, gates, depth int
+	}{
+		{0, 0, 0},
+		{1, 0, 0},
+		{2, 1, 1},
+		{3, 2, 2},
+		{4, 3, 2},
+		{5, 4, 3},
+		{8, 7, 3},
+		{9, 8, 4},
+		{1024, 1023, 10},
+	}
+	for _, c := range cases {
+		tr := XORTree{Inputs: c.inputs}
+		if tr.Gates() != c.gates {
+			t.Errorf("inputs=%d: gates=%d, want %d", c.inputs, tr.Gates(), c.gates)
+		}
+		if tr.Depth() != c.depth {
+			t.Errorf("inputs=%d: depth=%d, want %d", c.inputs, tr.Depth(), c.depth)
+		}
+	}
+}
+
+func TestComparatorCost(t *testing.T) {
+	c := Comparator{Bits: 10}
+	if c.Gates() != 19 { // 10 XNOR + 9 AND
+		t.Fatalf("10-bit comparator gates = %d, want 19", c.Gates())
+	}
+	if c.Depth() != 5 { // 1 XNOR level + 4 AND levels
+		t.Fatalf("10-bit comparator depth = %d, want 5", c.Depth())
+	}
+	if (Comparator{Bits: 0}).Gates() != 0 {
+		t.Fatal("empty comparator must be free")
+	}
+}
+
+// TestCRCEncoderModelLinearity cross-validates the symbolic derivation:
+// the model says output bit j depends on input bit i iff CRC(e_i) has bit
+// j set; by GF(2) linearity the CRC of any message must equal the XOR of
+// the unit-vector CRCs selected by its set bits.
+func TestCRCEncoderModelLinearity(t *testing.T) {
+	const n = 8 // small message so the check is exhaustive-ish
+	rng := phy.NewRNG(3)
+	for trial := 0; trial < 50; trial++ {
+		msg := make([]byte, n)
+		rng.Fill(msg)
+		var want uint64
+		unit := make([]byte, n)
+		for i := 0; i < n*8; i++ {
+			if msg[i/8]&(1<<(7-i%8)) != 0 {
+				unit[i/8] = 1 << (7 - i%8)
+				want ^= crc.Checksum(unit)
+				unit[i/8] = 0
+			}
+		}
+		if got := crc.Checksum(msg); got != want {
+			t.Fatalf("CRC is not linear?! got %#x want %#x", got, want)
+		}
+	}
+}
+
+// TestCRCEncoderModelShape sanity-checks the derived circuit: a good CRC
+// polynomial makes every output bit depend on roughly half the message
+// bits.
+func TestCRCEncoderModelShape(t *testing.T) {
+	c := CRCEncoderModel(242)
+	if len(c.Trees) != 64 {
+		t.Fatalf("%d output trees, want 64", len(c.Trees))
+	}
+	totalBits := 242 * 8
+	for j, tr := range c.Trees {
+		frac := float64(tr.Inputs) / float64(totalBits)
+		if frac < 0.35 || frac > 0.65 {
+			t.Errorf("output bit %d depends on %.2f of inputs, want ≈0.5", j, frac)
+		}
+	}
+	if c.Gates() == 0 || c.Depth() == 0 {
+		t.Fatal("empty circuit")
+	}
+	if c.MaxFanIn() <= totalBits/3 {
+		t.Fatalf("max fan-in %d implausibly small", c.MaxFanIn())
+	}
+}
+
+// TestSection73Headline reproduces the paper's numbers: 10 XOR gates per
+// fold, one extra logic level, one 10-bit comparator removed.
+func TestSection73Headline(t *testing.T) {
+	r := DefaultReport()
+	if r.ISNExtraXORs != 10 {
+		t.Errorf("extra XORs = %d, want 10", r.ISNExtraXORs)
+	}
+	if r.ISNExtraDepth != 1 {
+		t.Errorf("extra depth = %d, want 1", r.ISNExtraDepth)
+	}
+	if r.ComparatorRemoved.Bits != 10 {
+		t.Errorf("comparator bits = %d, want 10", r.ComparatorRemoved.Bits)
+	}
+	// Net: 2×10 XORs added, 19 comparator gates removed → +1 gate.
+	if r.NetGatesPerEndpoint != 1 {
+		t.Errorf("net gates = %d, want 1", r.NetGatesPerEndpoint)
+	}
+}
+
+// TestOverheadIsMinimal quantifies "minimal": the fold adds well under
+// 0.1% to the encoder's gates and under 10% to its depth.
+func TestOverheadIsMinimal(t *testing.T) {
+	r := DefaultReport()
+	if g := r.RelativeGateOverhead(); g >= 0.001 {
+		t.Errorf("relative gate overhead %g, want < 0.1%%", g)
+	}
+	if d := r.RelativeDepthOverhead(); d > 0.1 {
+		t.Errorf("relative depth overhead %g, want <= 10%%", d)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := DefaultReport().String()
+	for _, want := range []string{"+10 XOR", "10-bit comparator", "+1 logic level"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func TestNewReportPanicsOnBadSeqBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewReport(242, 0)
+}
+
+func TestCRCEncoderModelPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	CRCEncoderModel(0)
+}
+
+// TestCircuitGatesAdditive: property — total gates equal the sum of the
+// per-tree counts (guards against aggregation bugs if the circuit type
+// grows).
+func TestCircuitGatesAdditive(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		c := Circuit{}
+		want := 0
+		for _, s := range sizes {
+			tr := XORTree{Inputs: int(s)}
+			c.Trees = append(c.Trees, tr)
+			want += tr.Gates()
+		}
+		return c.Gates() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestISNFoldEquivalence verifies the hardware claim functionally: folding
+// the sequence number into the low bits of the message (the 10-XOR
+// datapath) produces exactly the checksum the ISN encoder computes.
+func TestISNFoldEquivalence(t *testing.T) {
+	rng := phy.NewRNG(77)
+	msg := make([]byte, 242)
+	for trial := 0; trial < 64; trial++ {
+		rng.Fill(msg)
+		seq := uint16(rng.Intn(1 << crc.SeqBits))
+
+		// Hardware view: XOR the sequence bits into the message tail,
+		// then run the unmodified CRC tree.
+		folded := append([]byte(nil), msg...)
+		folded[len(folded)-1] ^= byte(seq)
+		folded[len(folded)-2] ^= byte(seq >> 8)
+		hw := crc.Checksum(folded)
+
+		if sw := crc.ChecksumISN(seq, msg); sw != hw {
+			t.Fatalf("trial %d: hardware fold %#x != ChecksumISN %#x", trial, hw, sw)
+		}
+	}
+}

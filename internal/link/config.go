@@ -1,0 +1,162 @@
+// Package link implements the flit link-layer protocol engines compared by
+// the paper:
+//
+//   - ProtocolCXL: baseline CXL 3.0 semantics. The 10-bit FSN header field
+//     is multiplexed between the flit's own sequence number (ReplayCmd=SEQ)
+//     and a piggybacked acknowledgment (ReplayCmd=ACK). Flits that carry an
+//     AckNum cannot be sequence-checked by the receiver — the blind spot
+//     that turns silent switch drops into ordering failures (Section 4).
+//
+//   - ProtocolCXLNoPiggyback: every data flit carries its own explicit FSN;
+//     acknowledgments travel as standalone flits, consuming reverse
+//     bandwidth proportional to the coalescing level (Section 7.2.2,
+//     option 2).
+//
+//   - ProtocolRXL: the paper's proposal. The FSN field carries only
+//     AckNums (or zero); the sequence number is folded into the 64-bit CRC
+//     (ISN), which is checked end-to-end at the destination with the local
+//     expected sequence number. Every drop, reorder or corruption —
+//     including corruption inside switches — surfaces as a CRC mismatch
+//     (Sections 5–6).
+//
+// All three engines share one go-back-N retry machine (replay ring, NAK
+// with last-good sequence, ACK coalescing, retransmission timer), so the
+// protocols differ only in how sequence integrity is conveyed — exactly the
+// comparison the paper makes.
+package link
+
+import "repro/internal/sim"
+
+// Protocol selects the sequence-integrity scheme.
+type Protocol int
+
+const (
+	// ProtocolCXL is baseline CXL 3.0 with ACK piggybacking on the
+	// multiplexed FSN field.
+	ProtocolCXL Protocol = iota
+	// ProtocolCXLNoPiggyback always sends explicit sequence numbers and
+	// uses standalone ACK flits.
+	ProtocolCXLNoPiggyback
+	// ProtocolRXL embeds the sequence number in the CRC (ISN).
+	ProtocolRXL
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolCXL:
+		return "CXL"
+	case ProtocolCXLNoPiggyback:
+		return "CXL-noPB"
+	case ProtocolRXL:
+		return "RXL"
+	default:
+		return "Protocol(?)"
+	}
+}
+
+// RetryPolicy selects the loss-recovery scheme (Section 5 discusses the
+// trade-off).
+type RetryPolicy int
+
+const (
+	// GoBackN replays every unacknowledged flit from the requested
+	// sequence number onward — the scheme PCIe and CXL actually ship.
+	GoBackN RetryPolicy = iota
+	// SelectiveRepeat retransmits only the missing flit; the receiver
+	// holds subsequent verified flits in a bounded reassembly buffer and
+	// drains them once the gap fills. Requires explicit sequence numbers:
+	// ISN verifies sequence integrity only pass/fail, so RXL cannot
+	// identify *which* flit to hold or request (the Section 5 limitation)
+	// and rejects this policy.
+	SelectiveRepeat
+)
+
+// String implements fmt.Stringer.
+func (r RetryPolicy) String() string {
+	if r == SelectiveRepeat {
+		return "selective-repeat"
+	}
+	return "go-back-N"
+}
+
+// Config parameterizes a link-layer peer.
+type Config struct {
+	// Protocol selects CXL, CXL-without-piggybacking, or RXL.
+	Protocol Protocol
+
+	// Retry selects go-back-N (default) or selective repeat.
+	Retry RetryPolicy
+
+	// ReassemblyBufferSize bounds the out-of-order flits a selective-
+	// repeat receiver holds (Section 5 prices this buffer). On overflow
+	// the receiver falls back to a go-back-N replay.
+	ReassemblyBufferSize int
+
+	// CoalesceCount is the number of delivered flits acknowledged by one
+	// ACK — the inverse of the paper's p_coalescing (CoalesceCount=10
+	// means p_coalescing=0.1).
+	CoalesceCount int
+
+	// ReplayBufferSize is the maximum number of unacknowledged flits the
+	// transmitter holds. When full, new payload submissions queue behind
+	// the window. Must be < 512 so 10-bit wire numbers stay unambiguous.
+	ReplayBufferSize int
+
+	// AckTimeout is the longest the receiver holds a pending ACK waiting
+	// for a reverse data flit to piggyback on before sending a standalone
+	// ACK flit.
+	AckTimeout sim.Time
+
+	// RetryTimeout triggers a transmitter-initiated go-back-N replay if
+	// the oldest unacknowledged flit has waited this long. It is the
+	// backstop against lost ACK/NAK control flits.
+	RetryTimeout sim.Time
+
+	// StampRoute, when true, writes RouteTag and SrcTag into the fabric
+	// routing bytes (flit.RouteOffset, flit.SrcRouteOffset) of every
+	// outgoing flit, including control flits. Required on crossbar/star
+	// fabrics; ignored on point-to-point and chain topologies.
+	StampRoute bool
+	// RouteTag is the destination endpoint tag (the remote peer).
+	RouteTag byte
+	// SrcTag is this endpoint's own tag.
+	SrcTag byte
+}
+
+// DefaultConfig returns the configuration used by the paper's performance
+// analysis: p_coalescing = 0.1 (Section 7.1.2), a 128-flit replay window,
+// and timeouts comfortably above the 100ns retry latency (Section 7.2).
+func DefaultConfig(p Protocol) Config {
+	return Config{
+		Protocol:         p,
+		CoalesceCount:    10,
+		ReplayBufferSize: 128,
+		AckTimeout:       200 * sim.Nanosecond,
+		RetryTimeout:     2 * sim.Microsecond,
+	}
+}
+
+func (c *Config) sanitize() {
+	if c.Retry == SelectiveRepeat && c.Protocol == ProtocolRXL {
+		panic("link: RXL cannot use selective repeat — ISN has no explicit sequence numbers to reorder by (Section 5)")
+	}
+	if c.ReassemblyBufferSize <= 0 {
+		c.ReassemblyBufferSize = 64
+	}
+	if c.CoalesceCount <= 0 {
+		c.CoalesceCount = 1
+	}
+	if c.ReplayBufferSize <= 0 {
+		c.ReplayBufferSize = 128
+	}
+	if c.ReplayBufferSize >= 512 {
+		panic("link: ReplayBufferSize must be < 512 for 10-bit sequence numbers")
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 200 * sim.Nanosecond
+	}
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = 2 * sim.Microsecond
+	}
+}

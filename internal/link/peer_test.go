@@ -1,0 +1,490 @@
+package link
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/flit"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// harness wires two peers back to back and records delivered payload tags.
+type harness struct {
+	eng    *sim.Engine
+	a, b   *Peer
+	ab, ba *Wire
+	gotB   []uint64 // tags delivered at b (a -> b direction)
+	gotA   []uint64 // tags delivered at a
+}
+
+func newHarness(t *testing.T, proto Protocol, tweak func(*Config)) *harness {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := DefaultConfig(proto)
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	h := &harness{eng: eng}
+	h.a = NewPeer("a", eng, cfg)
+	h.b = NewPeer("b", eng, cfg)
+	h.a.Deliver = func(p []byte) { h.gotA = append(h.gotA, binary.BigEndian.Uint64(p)) }
+	h.b.Deliver = func(p []byte) { h.gotB = append(h.gotB, binary.BigEndian.Uint64(p)) }
+	h.ab, h.ba = ConnectDirect(eng, h.a, h.b, sim.FlitTime, 10*sim.Nanosecond)
+	return h
+}
+
+func tagged(tag uint64) []byte {
+	p := make([]byte, 16)
+	binary.BigEndian.PutUint64(p, tag)
+	return p
+}
+
+func wantInOrder(t *testing.T, got []uint64, n uint64) {
+	t.Helper()
+	if uint64(len(got)) != n {
+		t.Fatalf("delivered %d payloads, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("delivery %d has tag %d (sequence %v...)", i, v, got[:min(i+2, len(got))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestBasicDeliveryAllProtocols(t *testing.T) {
+	for _, proto := range []Protocol{ProtocolCXL, ProtocolCXLNoPiggyback, ProtocolRXL} {
+		t.Run(proto.String(), func(t *testing.T) {
+			h := newHarness(t, proto, nil)
+			const n = 500
+			for i := uint64(0); i < n; i++ {
+				h.a.Submit(tagged(i))
+			}
+			h.eng.Run()
+			wantInOrder(t, h.gotB, n)
+			if h.a.Stats.Retransmissions != 0 {
+				t.Errorf("clean link retransmitted %d flits", h.a.Stats.Retransmissions)
+			}
+			if h.a.Outstanding() != 0 {
+				t.Errorf("%d flits never acknowledged", h.a.Outstanding())
+			}
+		})
+	}
+}
+
+func TestSequenceWrapAround(t *testing.T) {
+	// More than 1024 flits exercises the 10-bit wire wrap in both seq and
+	// ack reconstruction.
+	for _, proto := range []Protocol{ProtocolCXL, ProtocolRXL} {
+		t.Run(proto.String(), func(t *testing.T) {
+			h := newHarness(t, proto, nil)
+			const n = 3000
+			for i := uint64(0); i < n; i++ {
+				h.a.Submit(tagged(i))
+			}
+			h.eng.Run()
+			wantInOrder(t, h.gotB, n)
+		})
+	}
+}
+
+func TestBidirectionalPiggybacking(t *testing.T) {
+	h := newHarness(t, ProtocolCXL, func(c *Config) { c.CoalesceCount = 5 })
+	const n = 300
+	for i := uint64(0); i < n; i++ {
+		h.a.Submit(tagged(i))
+		h.b.Submit(tagged(i))
+	}
+	h.eng.Run()
+	wantInOrder(t, h.gotB, n)
+	wantInOrder(t, h.gotA, n)
+	if h.a.Stats.PiggybackedAcks == 0 || h.b.Stats.PiggybackedAcks == 0 {
+		t.Errorf("no piggybacked acks: a=%d b=%d",
+			h.a.Stats.PiggybackedAcks, h.b.Stats.PiggybackedAcks)
+	}
+}
+
+func TestNoPiggybackUsesStandaloneAcks(t *testing.T) {
+	h := newHarness(t, ProtocolCXLNoPiggyback, nil)
+	const n = 300
+	for i := uint64(0); i < n; i++ {
+		h.a.Submit(tagged(i))
+		h.b.Submit(tagged(i))
+	}
+	h.eng.Run()
+	wantInOrder(t, h.gotB, n)
+	if h.a.Stats.PiggybackedAcks != 0 || h.b.Stats.PiggybackedAcks != 0 {
+		t.Error("no-piggyback mode piggybacked an ack")
+	}
+	if h.b.Stats.AckFlitsSent == 0 {
+		t.Error("no standalone acks sent")
+	}
+}
+
+func TestReplayWindowBackpressure(t *testing.T) {
+	h := newHarness(t, ProtocolRXL, func(c *Config) { c.ReplayBufferSize = 8 })
+	const n = 200
+	for i := uint64(0); i < n; i++ {
+		h.a.Submit(tagged(i))
+	}
+	if h.a.Outstanding() > 8 {
+		t.Fatalf("window exceeded: %d", h.a.Outstanding())
+	}
+	h.eng.Run()
+	wantInOrder(t, h.gotB, n)
+}
+
+func TestCorruptionTriggersRetry(t *testing.T) {
+	for _, proto := range []Protocol{ProtocolCXL, ProtocolCXLNoPiggyback, ProtocolRXL} {
+		t.Run(proto.String(), func(t *testing.T) {
+			h := newHarness(t, proto, nil)
+			// Corrupt the 3rd data flit beyond FEC repair (two symbols in
+			// one interleave way).
+			seen := 0
+			h.ab.FaultHook = func(f *flit.Flit) bool {
+				if f.Header().Type != flit.TypeData {
+					return false
+				}
+				seen++
+				if seen == 3 {
+					f.Raw[30] ^= 0xFF
+					f.Raw[33] ^= 0xFF
+				}
+				return false
+			}
+			const n = 50
+			for i := uint64(0); i < n; i++ {
+				h.a.Submit(tagged(i))
+			}
+			h.eng.Run()
+			wantInOrder(t, h.gotB, n)
+			if h.a.Stats.Retransmissions == 0 {
+				t.Error("corruption did not cause a retransmission")
+			}
+			if h.b.Stats.FecUncorrectable == 0 && h.b.Stats.CrcErrors == 0 {
+				t.Error("corruption never detected")
+			}
+		})
+	}
+}
+
+func TestFECCorrectsInFlightBurst(t *testing.T) {
+	h := newHarness(t, ProtocolRXL, nil)
+	seen := 0
+	h.ab.FaultHook = func(f *flit.Flit) bool {
+		if f.Header().Type == flit.TypeData {
+			seen++
+			if seen == 2 {
+				// 3-byte burst: correctable by the interleaved SSC.
+				f.Raw[100] ^= 0xA5
+				f.Raw[101] ^= 0x5A
+				f.Raw[102] ^= 0xFF
+			}
+		}
+		return false
+	}
+	const n = 20
+	for i := uint64(0); i < n; i++ {
+		h.a.Submit(tagged(i))
+	}
+	h.eng.Run()
+	wantInOrder(t, h.gotB, n)
+	if h.b.Stats.FecCorrectedFlits != 1 {
+		t.Errorf("FecCorrectedFlits = %d, want 1", h.b.Stats.FecCorrectedFlits)
+	}
+	if h.a.Stats.Retransmissions != 0 {
+		t.Error("correctable burst should not need a retry")
+	}
+}
+
+// dropNthData returns a FaultHook that silently drops the nth (1-based)
+// data flit — the scripted equivalent of a switch discarding an
+// uncorrectable flit.
+func dropNthData(n int) func(*flit.Flit) bool {
+	seen := 0
+	return func(f *flit.Flit) bool {
+		if f.Header().Type != flit.TypeData {
+			return false
+		}
+		seen++
+		return seen == n
+	}
+}
+
+// TestFig4CXLMisforwardOnDrop reproduces Fig. 4 / Fig. 5a at the link
+// layer: under baseline CXL, dropping flit #1 while flit #2 carries a
+// piggybacked AckNum makes the receiver forward flit #2 prematurely. The
+// delivered tag sequence is exactly the paper's A, C, B, C — a reordering
+// plus a duplicate that the link layer cannot see.
+func TestFig4CXLMisforwardOnDrop(t *testing.T) {
+	h := newHarness(t, ProtocolCXL, func(c *Config) {
+		c.CoalesceCount = 1 // ack every delivered flit, as in the figure
+	})
+	h.ab.FaultHook = dropNthData(2) // drop a's flit seq=1
+
+	// Upstream flit #100: b sends one payload so a has an ack to piggyback.
+	h.b.Submit(tagged(100))
+	// Downstream flits #0..#3. #0 and #1 go out before b's flit arrives
+	// (arrival at 12ns); #2 is submitted after, so it picks up the ack.
+	h.a.Submit(tagged(0))
+	h.a.Submit(tagged(1))
+	h.eng.Schedule(13*sim.Nanosecond, func() { h.a.Submit(tagged(2)) })
+	h.eng.Schedule(16*sim.Nanosecond, func() { h.a.Submit(tagged(3)) })
+	h.eng.Run()
+
+	want := []uint64{0, 2, 1, 2, 3} // the paper's A, C, B, C (after A)
+	if len(h.gotB) != len(want) {
+		t.Fatalf("delivered %v, want %v", h.gotB, want)
+	}
+	for i := range want {
+		if h.gotB[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", h.gotB, want)
+		}
+	}
+	if h.b.Stats.UnverifiedDelivered != 1 {
+		t.Errorf("UnverifiedDelivered = %d, want 1", h.b.Stats.UnverifiedDelivered)
+	}
+	if h.b.Stats.GapsDetected == 0 {
+		t.Error("the late gap detection never fired")
+	}
+}
+
+// TestFig4RXLDetectsDrop runs the identical scenario under RXL: the drop is
+// caught by the ISN CRC on the very next flit, and delivery is exactly-once
+// in-order.
+func TestFig4RXLDetectsDrop(t *testing.T) {
+	h := newHarness(t, ProtocolRXL, func(c *Config) { c.CoalesceCount = 1 })
+	h.ab.FaultHook = dropNthData(2)
+
+	h.b.Submit(tagged(100))
+	h.a.Submit(tagged(0))
+	h.a.Submit(tagged(1))
+	h.eng.Schedule(13*sim.Nanosecond, func() { h.a.Submit(tagged(2)) })
+	h.eng.Schedule(16*sim.Nanosecond, func() { h.a.Submit(tagged(3)) })
+	h.eng.Run()
+
+	wantInOrder(t, h.gotB, 4)
+	if h.b.Stats.UnverifiedDelivered != 0 {
+		t.Error("RXL delivered an unverified flit")
+	}
+	if h.b.Stats.CrcErrors == 0 {
+		t.Error("ISN mismatch never detected")
+	}
+	// RXL still piggybacked the ack (bandwidth parity with CXL option 1).
+	if h.a.Stats.PiggybackedAcks == 0 {
+		t.Error("RXL did not piggyback the ack")
+	}
+}
+
+// TestFig4NoPiggybackDetectsDrop: disabling piggybacking (option 2 of
+// Section 7.2.2) also closes the hole, at the cost of standalone ACK flits.
+func TestFig4NoPiggybackDetectsDrop(t *testing.T) {
+	h := newHarness(t, ProtocolCXLNoPiggyback, func(c *Config) { c.CoalesceCount = 1 })
+	h.ab.FaultHook = dropNthData(2)
+
+	h.b.Submit(tagged(100))
+	h.a.Submit(tagged(0))
+	h.a.Submit(tagged(1))
+	h.eng.Schedule(13*sim.Nanosecond, func() { h.a.Submit(tagged(2)) })
+	h.eng.Schedule(16*sim.Nanosecond, func() { h.a.Submit(tagged(3)) })
+	h.eng.Run()
+
+	wantInOrder(t, h.gotB, 4)
+	if h.b.Stats.UnverifiedDelivered != 0 {
+		t.Error("no-piggyback mode delivered an unverified flit")
+	}
+}
+
+func TestDropRecoveryLongStream(t *testing.T) {
+	// Multiple scripted drops spread through a long stream: RXL and
+	// no-piggyback CXL must deliver exactly-once in-order.
+	for _, proto := range []Protocol{ProtocolCXLNoPiggyback, ProtocolRXL} {
+		t.Run(proto.String(), func(t *testing.T) {
+			h := newHarness(t, proto, nil)
+			seen := 0
+			h.ab.FaultHook = func(f *flit.Flit) bool {
+				if f.Header().Type != flit.TypeData {
+					return false
+				}
+				seen++
+				return seen%97 == 13 // drop a handful of flits
+			}
+			const n = 1500
+			for i := uint64(0); i < n; i++ {
+				h.a.Submit(tagged(i))
+			}
+			h.eng.Run()
+			wantInOrder(t, h.gotB, n)
+		})
+	}
+}
+
+func TestLostNakRecoveredByTimeout(t *testing.T) {
+	h := newHarness(t, ProtocolRXL, func(c *Config) {
+		c.RetryTimeout = 500 * sim.Nanosecond
+	})
+	h.ab.FaultHook = dropNthData(3)
+	nakDropped := false
+	h.ba.FaultHook = func(f *flit.Flit) bool {
+		if f.Header().Type == flit.TypeNak && !nakDropped {
+			nakDropped = true
+			return true
+		}
+		return false
+	}
+	const n = 30
+	for i := uint64(0); i < n; i++ {
+		h.a.Submit(tagged(i))
+	}
+	h.eng.Run()
+	wantInOrder(t, h.gotB, n)
+	if !nakDropped {
+		t.Fatal("scenario never dropped a NAK")
+	}
+	if h.a.Stats.TimeoutRetries == 0 && h.a.Stats.GoBackNRounds == 0 {
+		t.Error("no recovery mechanism fired")
+	}
+}
+
+func TestLostAckRecoveredByTimeout(t *testing.T) {
+	h := newHarness(t, ProtocolCXLNoPiggyback, func(c *Config) {
+		c.RetryTimeout = 500 * sim.Nanosecond
+	})
+	drops := 0
+	h.ba.FaultHook = func(f *flit.Flit) bool {
+		if f.Header().Type == flit.TypeAck && drops < 2 {
+			drops++
+			return true
+		}
+		return false
+	}
+	const n = 100
+	for i := uint64(0); i < n; i++ {
+		h.a.Submit(tagged(i))
+	}
+	h.eng.Run()
+	wantInOrder(t, h.gotB, n)
+	if h.a.Outstanding() != 0 {
+		t.Errorf("%d flits stuck in replay buffer", h.a.Outstanding())
+	}
+}
+
+// TestRandomBERDirectLinkExactlyOnce: under a noisy direct link every
+// protocol (including baseline CXL, which is only vulnerable to *drops*,
+// not corruption) must deliver exactly-once in-order — the paper's Section
+// 7.1.1 claim that direct connections are safe.
+func TestRandomBERDirectLinkExactlyOnce(t *testing.T) {
+	for _, proto := range []Protocol{ProtocolCXL, ProtocolCXLNoPiggyback, ProtocolRXL} {
+		t.Run(proto.String(), func(t *testing.T) {
+			h := newHarness(t, proto, nil)
+			rng := phy.NewRNG(42)
+			h.ab.Channel = phy.NewChannel(2e-6, 0.3, rng.Split())
+			h.ba.Channel = phy.NewChannel(2e-6, 0.3, rng.Split())
+			const n = 4000
+			for i := uint64(0); i < n; i++ {
+				h.a.Submit(tagged(i))
+			}
+			h.eng.Run()
+			wantInOrder(t, h.gotB, n)
+		})
+	}
+}
+
+func TestRandomBERHighErrorStress(t *testing.T) {
+	// An aggressively noisy link: correctness must hold even when retries
+	// are frequent and control flits get corrupted.
+	h := newHarness(t, ProtocolRXL, func(c *Config) {
+		c.RetryTimeout = 1 * sim.Microsecond
+	})
+	rng := phy.NewRNG(7)
+	h.ab.Channel = phy.NewChannel(5e-5, 0.5, rng.Split())
+	h.ba.Channel = phy.NewChannel(5e-5, 0.5, rng.Split())
+	const n = 3000
+	for i := uint64(0); i < n; i++ {
+		h.a.Submit(tagged(i))
+		h.b.Submit(tagged(i))
+	}
+	h.eng.Run()
+	wantInOrder(t, h.gotB, n)
+	wantInOrder(t, h.gotA, n)
+	if h.a.Stats.Retransmissions == 0 {
+		t.Error("stress test saw no retransmissions; BER too low to be meaningful")
+	}
+}
+
+func TestSubmitOversizedPanics(t *testing.T) {
+	h := newHarness(t, ProtocolRXL, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	h.a.Submit(make([]byte, flit.PayloadSize+1))
+}
+
+func TestProtocolStrings(t *testing.T) {
+	if ProtocolCXL.String() != "CXL" || ProtocolCXLNoPiggyback.String() != "CXL-noPB" ||
+		ProtocolRXL.String() != "RXL" || Protocol(99).String() != "Protocol(?)" {
+		t.Error("protocol strings wrong")
+	}
+}
+
+func TestConfigSanitize(t *testing.T) {
+	c := Config{}
+	c.sanitize()
+	if c.CoalesceCount != 1 || c.ReplayBufferSize != 128 || c.AckTimeout == 0 || c.RetryTimeout == 0 {
+		t.Errorf("sanitize defaults wrong: %+v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized window did not panic")
+		}
+	}()
+	bad := Config{ReplayBufferSize: 512}
+	bad.sanitize()
+}
+
+func BenchmarkLinkThroughputRXL(b *testing.B) {
+	benchThroughput(b, ProtocolRXL, 0)
+}
+
+func BenchmarkLinkThroughputCXL(b *testing.B) {
+	benchThroughput(b, ProtocolCXL, 0)
+}
+
+func BenchmarkLinkThroughputRXLNoisy(b *testing.B) {
+	benchThroughput(b, ProtocolRXL, 1e-5)
+}
+
+func benchThroughput(b *testing.B, proto Protocol, ber float64) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig(proto)
+	a := NewPeer("a", eng, cfg)
+	bb := NewPeer("b", eng, cfg)
+	delivered := 0
+	bb.Deliver = func([]byte) { delivered++ }
+	ab, _ := ConnectDirect(eng, a, bb, sim.FlitTime, 10*sim.Nanosecond)
+	if ber > 0 {
+		ab.Channel = phy.NewChannel(ber, 0.3, phy.NewRNG(1))
+	}
+	payload := make([]byte, flit.PayloadSize)
+	b.SetBytes(flit.PayloadSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Submit(payload)
+		if a.Queued() > 256 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}

@@ -1,0 +1,101 @@
+package link
+
+import (
+	"repro/internal/flit"
+)
+
+// Selective-repeat support (Section 5). The paper explains why CXL and
+// RXL ship go-back-N: selective repeat needs a receiver-side reassembly
+// buffer and, crucially, explicit sequence numbers so the receiver knows
+// which flit to hold and which to request. This implementation exists to
+// *measure* that trade-off (see the ablation benchmarks): it retransmits
+// only the missing flit and holds later verified flits in a bounded
+// buffer, falling back to go-back-N when the buffer overflows.
+
+// bufferOutOfOrder stores a verified but out-of-order payload until the
+// gap before it fills. It reports false when the buffer is full, in which
+// case the caller must fall back to go-back-N.
+func (p *Peer) bufferOutOfOrder(abs uint64, f *flit.Flit) bool {
+	if _, dup := p.reorder[abs]; dup {
+		return true // retransmission of an already-held flit
+	}
+	if len(p.reorder) >= p.Cfg.ReassemblyBufferSize {
+		p.Stats.ReassemblyOverflows++
+		return false
+	}
+	var buf [flit.PayloadSize]byte
+	copy(buf[:], f.Payload())
+	p.reorder[abs] = &buf
+	p.Stats.ReassemblyBuffered++
+	return true
+}
+
+// drainReorder delivers consecutively buffered flits once eseq reaches
+// them, advancing the verified watermark as it goes.
+func (p *Peer) drainReorder() {
+	for {
+		buf, ok := p.reorder[p.eseq]
+		if !ok {
+			return
+		}
+		delete(p.reorder, p.eseq)
+		p.Stats.ReassemblyDrained++
+		p.Stats.Delivered++
+		if p.Deliver != nil {
+			p.Deliver(buf[:])
+		}
+		p.eseq++
+		p.advanceVerified(p.eseq)
+	}
+}
+
+// requestSingleNak schedules a NAK naming exactly the missing sequence
+// number (ReplayCmd=3, the CXL single-flit retry), with a per-sequence
+// cooldown so buffered retransmissions don't re-trigger it.
+func (p *Peer) requestSingleNak() {
+	now := p.Eng.Now()
+	if p.srNakFor == p.eseq && now-p.srNakAt < p.Cfg.RetryTimeout/2 {
+		return
+	}
+	p.srNakFor = p.eseq
+	p.srNakAt = now
+	p.srNakToSend = true
+	p.pump()
+}
+
+// onNakSingle retransmits exactly the named flit if it is still in the
+// replay window.
+func (p *Peer) onNakSingle(fsn uint16) {
+	p.Stats.NaksReceived++
+	seq := absFromWire(fsn, p.ackedUpTo)
+	if seq < p.ackedUpTo || seq >= p.nextSeq {
+		return // already acknowledged or never sent: stale NAK
+	}
+	for _, queued := range p.srQueue {
+		if queued == seq {
+			return
+		}
+	}
+	p.srQueue = append(p.srQueue, seq)
+	p.pump()
+}
+
+// transmitSingleRetry pops one queued single-flit retransmission. It
+// reports whether a flit was sent.
+func (p *Peer) transmitSingleRetry() bool {
+	for len(p.srQueue) > 0 {
+		seq := p.srQueue[0]
+		p.srQueue = p.srQueue[1:]
+		if seq < p.ackedUpTo {
+			continue // acknowledged while queued
+		}
+		idx := int(seq - p.ackedUpTo)
+		if idx >= len(p.replay) {
+			continue
+		}
+		p.Stats.SingleRetries++
+		p.sendData(p.replay[idx], true)
+		return true
+	}
+	return false
+}

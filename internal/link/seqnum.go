@@ -1,0 +1,29 @@
+package link
+
+import "repro/internal/flit"
+
+// seqSpace is the size of the on-wire sequence number space (10 bits).
+const seqSpace = int64(flit.FSNMask) + 1
+
+// wireSeq reduces an absolute sequence number to its 10-bit wire form.
+func wireSeq(abs uint64) uint16 {
+	return uint16(abs) & flit.FSNMask
+}
+
+// absFromWire reconstructs the absolute sequence number whose 10-bit wire
+// form is fsn, choosing the candidate closest to ref. This is unambiguous
+// as long as the true value lies within ±half the sequence space of ref,
+// which the replay-window limit (< 512 outstanding flits) guarantees.
+func absFromWire(fsn uint16, ref uint64) uint64 {
+	r := int64(ref)
+	cand := r - r%seqSpace + int64(fsn)
+	if cand > r+seqSpace/2 {
+		cand -= seqSpace
+	} else if cand+seqSpace/2 < r {
+		cand += seqSpace
+	}
+	if cand < 0 {
+		cand += seqSpace
+	}
+	return uint64(cand)
+}

@@ -1,0 +1,49 @@
+package link
+
+import "testing"
+
+func TestWireSeq(t *testing.T) {
+	cases := []struct {
+		abs  uint64
+		want uint16
+	}{
+		{0, 0}, {1, 1}, {1023, 1023}, {1024, 0}, {1025, 1}, {4096, 0}, {5000, 904},
+	}
+	for _, tc := range cases {
+		if got := wireSeq(tc.abs); got != tc.want {
+			t.Errorf("wireSeq(%d) = %d, want %d", tc.abs, got, tc.want)
+		}
+	}
+}
+
+func TestAbsFromWireRoundTrip(t *testing.T) {
+	// For any absolute value and any reference within ±511, the round trip
+	// must reconstruct exactly.
+	for _, abs := range []uint64{0, 1, 511, 512, 1023, 1024, 5000, 100000} {
+		for _, off := range []int64{-511, -100, -1, 0, 1, 100, 511} {
+			ref := int64(abs) + off
+			if ref < 0 {
+				continue
+			}
+			got := absFromWire(wireSeq(abs), uint64(ref))
+			if got != abs {
+				t.Errorf("absFromWire(wire(%d), %d) = %d", abs, ref, got)
+			}
+		}
+	}
+}
+
+func TestAbsFromWireNearZero(t *testing.T) {
+	// Wire value 1023 with reference 0 is most plausibly absolute 1023
+	// ... but negative candidates must never be produced.
+	got := absFromWire(1023, 0)
+	if got != 1023 {
+		t.Errorf("absFromWire(1023, 0) = %d, want 1023", got)
+	}
+	if absFromWire(0, 0) != 0 {
+		t.Error("absFromWire(0,0) != 0")
+	}
+	if absFromWire(1, 0) != 1 {
+		t.Error("absFromWire(1,0) != 1")
+	}
+}

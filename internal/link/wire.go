@@ -1,0 +1,67 @@
+package link
+
+import (
+	"repro/internal/flit"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// Wire is a unidirectional flit conduit: a sim.Pipe with an optional
+// bit-error channel applied in flight and an optional scripted fault hook
+// used by the deterministic failure-scenario experiments (Figs. 4–5).
+type Wire struct {
+	pipe *sim.Pipe
+
+	// Channel, when non-nil, corrupts every flit image in flight
+	// according to its BER/burst model.
+	Channel *phy.Channel
+
+	// FaultHook, when non-nil, inspects each (possibly corrupted) flit at
+	// arrival; returning true drops the flit silently — the scripted
+	// equivalent of a switch discarding an uncorrectable flit.
+	FaultHook func(*flit.Flit) bool
+
+	// HookDropped counts flits dropped by FaultHook.
+	HookDropped uint64
+}
+
+// NewWire builds a wire delivering flits to deliver after serialization and
+// propagation delay. Use sim.FlitTime (2 ns) as the serialization delay of a
+// full-speed x16 CXL 3.0 link.
+func NewWire(eng *sim.Engine, ser, prop sim.Time, deliver func(*flit.Flit)) *Wire {
+	w := &Wire{}
+	w.pipe = &sim.Pipe{
+		Engine:             eng,
+		SerializationDelay: ser,
+		PropagationDelay:   prop,
+		Sink: func(x interface{}) {
+			f := x.(*flit.Flit)
+			if w.Channel != nil {
+				w.Channel.Corrupt(f.Raw[:])
+			}
+			if w.FaultHook != nil && w.FaultHook(f) {
+				w.HookDropped++
+				return
+			}
+			deliver(f)
+		},
+	}
+	return w
+}
+
+// Send transmits a flit. The caller relinquishes ownership: the flit may be
+// corrupted in flight and is handed to the receiver.
+func (w *Wire) Send(f *flit.Flit) { w.pipe.Send(f) }
+
+// FreeAt returns the earliest time a new Send would begin serializing.
+func (w *Wire) FreeAt() sim.Time { return w.pipe.FreeAt() }
+
+// BusyTime returns cumulative serialization occupancy.
+func (w *Wire) BusyTime() sim.Time { return w.pipe.BusyTime }
+
+// Sent returns the number of flits accepted by the wire.
+func (w *Wire) Sent() uint64 { return w.pipe.Sent }
+
+// Utilization returns the fraction of elapsed time the wire spent
+// serializing flits.
+func (w *Wire) Utilization() float64 { return w.pipe.Utilization() }

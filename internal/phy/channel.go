@@ -1,0 +1,81 @@
+package phy
+
+// Channel is a stochastic bit-error process applied to flit images in
+// transit. Errors are injected as independent events at rate BER, using
+// geometric gap sampling so that low-BER channels cost O(errors), not
+// O(bits). Each error event optionally extends into a burst via the DFE
+// propagation model: after a symbol decision error, each subsequent bit is
+// also corrupted with probability BurstProb, mimicking decision feedback
+// equalizer error propagation at the PAM4 physical layer (Section 2.2).
+//
+// A Channel is not safe for concurrent use; give each simulated link its
+// own (use RNG.Split for reproducible derivation).
+type Channel struct {
+	// BER is the independent bit error rate (e.g. 1e-6 for CXL 3.0).
+	BER float64
+	// BurstProb is the probability that an error event corrupts the next
+	// bit as well (geometric burst lengths with mean 1/(1-BurstProb)).
+	// Zero gives a pure iid channel.
+	BurstProb float64
+
+	rng *RNG
+
+	// Stats accumulated across Corrupt calls.
+	BitsSeen     uint64
+	BitsFlipped  uint64
+	ErrorEvents  uint64 // independent error events (bursts count once)
+	UnitsTouched uint64 // buffers with at least one flipped bit
+}
+
+// NewChannel returns a channel with the given error parameters and RNG.
+func NewChannel(ber, burstProb float64, rng *RNG) *Channel {
+	return &Channel{BER: ber, BurstProb: burstProb, rng: rng}
+}
+
+// Corrupt injects bit errors into buf in place and returns the number of
+// bits flipped.
+func (ch *Channel) Corrupt(buf []byte) int {
+	bits := len(buf) * 8
+	ch.BitsSeen += uint64(bits)
+	if ch.BER <= 0 {
+		return 0
+	}
+	flipped := 0
+	pos := ch.rng.Geometric(ch.BER)
+	for pos < bits {
+		ch.ErrorEvents++
+		// Flip the seed bit, then extend the burst while the DFE model
+		// keeps propagating.
+		buf[pos/8] ^= 1 << (7 - pos%8)
+		flipped++
+		ch.BitsFlipped++
+		for ch.BurstProb > 0 && pos+1 < bits && ch.rng.Float64() < ch.BurstProb {
+			pos++
+			buf[pos/8] ^= 1 << (7 - pos%8)
+			flipped++
+			ch.BitsFlipped++
+		}
+		gap := ch.rng.Geometric(ch.BER)
+		if gap >= bits { // avoid overflow on MaxInt gaps
+			break
+		}
+		pos += 1 + gap
+	}
+	if flipped > 0 {
+		ch.UnitsTouched++
+	}
+	return flipped
+}
+
+// FlitErrorRate returns the observed fraction of corrupted buffers, for
+// cross-checking against the analytic FER of Eq. 1.
+func (ch *Channel) FlitErrorRate(unitBits int) float64 {
+	if ch.BitsSeen == 0 {
+		return 0
+	}
+	units := ch.BitsSeen / uint64(unitBits)
+	if units == 0 {
+		return 0
+	}
+	return float64(ch.UnitsTouched) / float64(units)
+}

@@ -1,0 +1,49 @@
+package reliability
+
+import "testing"
+
+// TestCRC16EscapeMatches2ToMinus16 empirically validates the 2^-k escape
+// scaling at a width where escapes actually occur. 2e6 trials give an
+// expected ~30 escapes; the Poisson 99.9% band is roughly ±60%.
+func TestCRC16EscapeMatches2ToMinus16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2e6 CRC evaluations")
+	}
+	s := MeasureCRC16Escape(2_000_000, 9001)
+	if s.Escapes == 0 {
+		t.Fatalf("no escapes in %d trials; 16-bit CRC cannot be that strong", s.Trials)
+	}
+	if s.Rate < s.Analytic*0.4 || s.Rate > s.Analytic*1.6 {
+		t.Fatalf("escape rate %.3g (n=%d) vs analytic %.3g: outside Poisson band",
+			s.Rate, s.Escapes, s.Analytic)
+	}
+	t.Logf("16-bit CRC escape rate: measured %.3g (%d/%d), analytic %.3g",
+		s.Rate, s.Escapes, s.Trials, s.Analytic)
+}
+
+// TestISN16SeqMismatchNeverEscapes: a wrong expected sequence number is
+// always detected — the fold lands in the CRC's guaranteed burst class.
+func TestISN16SeqMismatchNeverEscapes(t *testing.T) {
+	s := MeasureISN16SeqEscape(200_000, 77)
+	if s.SeqEscape != 0 {
+		t.Fatalf("%d sequence mismatches escaped the 16-bit ISN check", s.SeqEscape)
+	}
+}
+
+func TestMeasureCRC16EscapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MeasureCRC16Escape(0, 1)
+}
+
+func TestMeasureISN16SeqEscapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MeasureISN16SeqEscape(-1, 1)
+}

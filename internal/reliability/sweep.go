@@ -1,0 +1,91 @@
+package reliability
+
+// This file extends the Section 7.1 analysis along the axes the paper
+// motivates but does not tabulate: how the failure rates move as the
+// physical layer degrades (BER sweeps, Section 2.1's escalating signaling
+// rates) and where each protocol crosses the reliability budget of
+// server-grade hardware.
+
+// ServerFITBudget is the paper's reference point for acceptable device
+// reliability: "typical target for server-grade devices, which have FIT
+// values in the range of a few hundred" (Section 7.1.1).
+const ServerFITBudget = 500.0
+
+// WithBER returns a copy of p at a different bit error rate, rescaling
+// FER_UC so the conditional probability P(uncorrectable | erroneous)
+// stays at its spec-derived value. This models faster signaling (more
+// raw errors) with unchanged FEC strength.
+func (p Params) WithBER(ber float64) Params {
+	q := p
+	baseFER := p.FER()
+	q.BER = ber
+	if baseFER > 0 {
+		q.FERUC = p.FERUC / baseFER * q.FER()
+	}
+	return q
+}
+
+// BERPoint is one x-position of a BER sweep.
+type BERPoint struct {
+	BER    float64
+	FER    float64
+	FERUC  float64
+	FITCXL float64 // at the sweep's switching level
+	FITRXL float64
+}
+
+// BERSweep evaluates the model across bit error rates at a fixed number
+// of switching levels.
+func (p Params) BERSweep(bers []float64, levels int) []BERPoint {
+	out := make([]BERPoint, 0, len(bers))
+	for _, ber := range bers {
+		q := p.WithBER(ber)
+		out = append(out, BERPoint{
+			BER:    ber,
+			FER:    q.FER(),
+			FERUC:  q.FERUC,
+			FITCXL: q.FITCXL(levels),
+			FITRXL: q.FITRXL(levels),
+		})
+	}
+	return out
+}
+
+// CXLBudgetCrossing returns the smallest number of switching levels at
+// which baseline CXL's FIT exceeds the budget, searching up to maxLevels.
+// It returns -1 if CXL stays within budget (e.g. at negligible BER).
+func (p Params) CXLBudgetCrossing(budget float64, maxLevels int) int {
+	for l := 0; l <= maxLevels; l++ {
+		if p.FITCXL(l) > budget {
+			return l
+		}
+	}
+	return -1
+}
+
+// RXLBudgetCrossing is the RXL counterpart of CXLBudgetCrossing.
+func (p Params) RXLBudgetCrossing(budget float64, maxLevels int) int {
+	for l := 0; l <= maxLevels; l++ {
+		if p.FITRXL(l) > budget {
+			return l
+		}
+	}
+	return -1
+}
+
+// BERBudgetCrossing returns the lowest BER (from the sorted candidates)
+// at which the protocol's FIT at the given level exceeds the budget; it
+// returns 0 if none does. The candidates must be in ascending order.
+func (p Params) BERBudgetCrossing(bers []float64, levels int, budget float64, rxl bool) float64 {
+	for _, ber := range bers {
+		q := p.WithBER(ber)
+		fit := q.FITCXL(levels)
+		if rxl {
+			fit = q.FITRXL(levels)
+		}
+		if fit > budget {
+			return ber
+		}
+	}
+	return 0
+}

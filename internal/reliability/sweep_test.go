@@ -1,0 +1,94 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWithBERRescalesFERUC(t *testing.T) {
+	p := DefaultParams()
+	q := p.WithBER(1e-7)
+	// P(uncorrectable | erroneous) must be preserved.
+	base := p.FERUC / p.FER()
+	scaled := q.FERUC / q.FER()
+	if !within(scaled, base, 1e-9) {
+		t.Fatalf("conditional uncorrectable probability drifted: %g vs %g", scaled, base)
+	}
+	if q.FERUC >= p.FERUC {
+		t.Fatal("lower BER must lower FER_UC")
+	}
+}
+
+func TestWithBERZero(t *testing.T) {
+	q := DefaultParams().WithBER(0)
+	if q.FER() != 0 || q.FERUC != 0 {
+		t.Fatalf("zero BER gives FER=%g FERUC=%g", q.FER(), q.FERUC)
+	}
+}
+
+func TestBERSweepMonotone(t *testing.T) {
+	bers := []float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5}
+	pts := DefaultParams().BERSweep(bers, 1)
+	if len(pts) != len(bers) {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FER <= pts[i-1].FER {
+			t.Errorf("FER not increasing at %g", pts[i].BER)
+		}
+		if pts[i].FITCXL <= pts[i-1].FITCXL {
+			t.Errorf("FIT_CXL not increasing at %g", pts[i].BER)
+		}
+		if pts[i].FITRXL <= pts[i-1].FITRXL {
+			t.Errorf("FIT_RXL not increasing at %g", pts[i].BER)
+		}
+	}
+	// The CXL/RXL gap holds across the whole sweep.
+	for _, pt := range pts {
+		if pt.FITCXL/pt.FITRXL < 1e15 {
+			t.Errorf("at BER %g the CXL/RXL ratio collapsed to %g", pt.BER, pt.FITCXL/pt.FITRXL)
+		}
+	}
+}
+
+// TestBudgetCrossings quantifies the paper's scaling argument: at spec
+// BER, CXL blows the server-grade budget the moment one switch appears;
+// RXL never crosses it at any plausible depth.
+func TestBudgetCrossings(t *testing.T) {
+	p := DefaultParams()
+	if l := p.CXLBudgetCrossing(ServerFITBudget, 16); l != 1 {
+		t.Errorf("CXL crosses budget at level %d, want 1", l)
+	}
+	if l := p.RXLBudgetCrossing(ServerFITBudget, 16); l != -1 {
+		t.Errorf("RXL crosses budget at level %d, want never", l)
+	}
+	// Even at a four-orders-better physical layer, one switch still
+	// breaks CXL: the ordering-failure mode scales with FER_UC, which at
+	// BER 1e-10 is ~3e-9, giving FIT ~5.4e11 >> budget.
+	clean := p.WithBER(1e-10)
+	if l := clean.CXLBudgetCrossing(ServerFITBudget, 16); l != 1 {
+		t.Errorf("CXL at BER 1e-10 crosses at level %d, want 1", l)
+	}
+}
+
+func TestBERBudgetCrossing(t *testing.T) {
+	p := DefaultParams()
+	bers := []float64{1e-15, 1e-12, 1e-9, 1e-6}
+	// CXL with one switch exceeds the budget already at 1e-15.
+	if got := p.BERBudgetCrossing(bers, 1, ServerFITBudget, false); got != 1e-15 {
+		t.Errorf("CXL BER crossing = %g, want 1e-15", got)
+	}
+	// RXL never exceeds it on this grid.
+	if got := p.BERBudgetCrossing(bers, 1, ServerFITBudget, true); got != 0 {
+		t.Errorf("RXL BER crossing = %g, want none", got)
+	}
+}
+
+func TestBERSweepFERBounded(t *testing.T) {
+	pts := DefaultParams().BERSweep([]float64{1e-3, 1e-2, 0.5}, 0)
+	for _, pt := range pts {
+		if pt.FER < 0 || pt.FER > 1 || math.IsNaN(pt.FER) {
+			t.Errorf("FER %g out of range at BER %g", pt.FER, pt.BER)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestInterleavedGeometryCXL(t *testing.T) {
+	il := MustNewInterleaved(250, 3, 2)
+	if il.DataLen() != 250 || il.ParityLen() != 6 || il.Ways() != 3 {
+		t.Fatalf("geometry: data=%d parity=%d ways=%d", il.DataLen(), il.ParityLen(), il.Ways())
+	}
+	lens := il.SubBlockLens()
+	// The paper's 85/85/86 sub-blocks (83/83/84 data + 2 parity each).
+	counts := map[int]int{}
+	for _, l := range lens {
+		counts[l]++
+	}
+	if counts[85] != 2 || counts[86] != 1 {
+		t.Fatalf("sub-block lengths %v, want two 85s and one 86", lens)
+	}
+}
+
+func TestInterleavedValidation(t *testing.T) {
+	if _, err := NewInterleaved(0, 3, 2); err == nil {
+		t.Error("total=0 should fail")
+	}
+	if _, err := NewInterleaved(250, 0, 2); err == nil {
+		t.Error("ways=0 should fail")
+	}
+	if _, err := NewInterleaved(250, 3, 0); err == nil {
+		t.Error("nparity=0 should fail")
+	}
+	if _, err := NewInterleaved(2, 3, 2); err == nil {
+		t.Error("empty way should fail")
+	}
+	// Oversized sub-block codeword.
+	if _, err := NewInterleaved(900, 3, 2); err == nil {
+		t.Error("sub-block over 255 should fail")
+	}
+}
+
+func TestInterleavedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	il := MustNewInterleaved(250, 3, 2)
+	for trial := 0; trial < 100; trial++ {
+		data := randData(rng, 250)
+		parity := make([]byte, 6)
+		il.Encode(data, parity)
+		res := il.Decode(data, parity)
+		if res.Status != StatusClean {
+			t.Fatalf("fresh interleaved codeword: %v", res.Status)
+		}
+	}
+}
+
+// TestInterleavedBurst3AlwaysCorrected verifies the headline FEC capability:
+// any burst confined to 3 consecutive wire bytes is always corrected by the
+// 3-way interleaved SSC (Section 2.5 / 6.4).
+func TestInterleavedBurst3AlwaysCorrected(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	il := MustNewInterleaved(250, 3, 2)
+	data := randData(rng, 250)
+	parity := make([]byte, 6)
+	il.Encode(data, parity)
+	orig := append([]byte(nil), data...)
+	origP := append([]byte(nil), parity...)
+
+	wire := func() []byte { return append(append([]byte(nil), data...), parity...) }
+	restore := func(w []byte) {
+		copy(data, w[:250])
+		copy(parity, w[250:])
+	}
+
+	for start := 0; start <= 256-3; start++ {
+		for trial := 0; trial < 5; trial++ {
+			w := wire()
+			for i := 0; i < 3; i++ {
+				w[start+i] ^= byte(rng.Intn(255) + 1)
+			}
+			restore(w)
+			res := il.Decode(data, parity)
+			if res.Status != StatusCorrected {
+				t.Fatalf("burst at %d not corrected: %v", start, res.Status)
+			}
+			if !bytes.Equal(data, orig) || !bytes.Equal(parity, origP) {
+				t.Fatalf("burst at %d: wrong correction", start)
+			}
+			copy(data, orig)
+			copy(parity, origP)
+		}
+	}
+}
+
+// TestInterleavedBurstDetectionRates reproduces the paper's burst detection
+// fractions (Section 2.5): 4-byte bursts detected ~2/3 of the time, 5-byte
+// ~8/9, 6-byte ~26/27 — because an L-byte burst puts 2 symbol errors in
+// (L-3) sub-blocks and all of them must miscorrect for the flit to escape.
+func TestInterleavedBurstDetectionRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	il := MustNewInterleaved(250, 3, 2)
+
+	cases := []struct {
+		burst  int
+		want   float64
+		slack  float64
+		trials int
+	}{
+		{4, 2.0 / 3.0, 0.04, 8000},
+		{5, 8.0 / 9.0, 0.03, 8000},
+		{6, 26.0 / 27.0, 0.02, 8000},
+	}
+	for _, tc := range cases {
+		detected := 0
+		for trial := 0; trial < tc.trials; trial++ {
+			data := randData(rng, 250)
+			parity := make([]byte, 6)
+			il.Encode(data, parity)
+			w := append(append([]byte(nil), data...), parity...)
+			start := rng.Intn(256 - tc.burst)
+			for i := 0; i < tc.burst; i++ {
+				w[start+i] ^= byte(rng.Intn(255) + 1)
+			}
+			copy(data, w[:250])
+			copy(parity, w[250:])
+			if il.Decode(data, parity).Status == StatusUncorrectable {
+				detected++
+			}
+		}
+		rate := float64(detected) / float64(tc.trials)
+		if rate < tc.want-tc.slack || rate > tc.want+tc.slack {
+			t.Errorf("burst=%d: detection rate %.4f, want %.4f±%.2f", tc.burst, rate, tc.want, tc.slack)
+		} else {
+			t.Logf("burst=%d: detection rate %.4f (paper: %.4f)", tc.burst, rate, tc.want)
+		}
+	}
+}
+
+func TestInterleavedCloneIsIndependent(t *testing.T) {
+	il := MustNewInterleaved(250, 3, 2)
+	cl := il.Clone()
+	rng := rand.New(rand.NewSource(13))
+	data1 := randData(rng, 250)
+	data2 := randData(rng, 250)
+	p1 := make([]byte, 6)
+	p2 := make([]byte, 6)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 200; i++ {
+			il.Encode(data1, p1)
+		}
+		close(done)
+	}()
+	for i := 0; i < 200; i++ {
+		cl.Encode(data2, p2)
+	}
+	<-done
+	// Verify both results against fresh encoders.
+	ref := MustNewInterleaved(250, 3, 2)
+	want1 := make([]byte, 6)
+	want2 := make([]byte, 6)
+	ref.Encode(data1, want1)
+	ref.Encode(data2, want2)
+	if !bytes.Equal(p1, want1) || !bytes.Equal(p2, want2) {
+		t.Fatal("concurrent clones interfered")
+	}
+}
+
+func TestVacantFraction(t *testing.T) {
+	il := MustNewInterleaved(250, 3, 2)
+	for w := 0; w < 3; w++ {
+		f := il.VacantFraction(w)
+		if f < 0.66 || f > 0.67 {
+			t.Errorf("way %d vacant fraction %.4f, want ~2/3", w, f)
+		}
+	}
+}
+
+func TestInterleavedLengthPanics(t *testing.T) {
+	il := MustNewInterleaved(250, 3, 2)
+	for _, fn := range []func(){
+		func() { il.Encode(make([]byte, 249), make([]byte, 6)) },
+		func() { il.Encode(make([]byte, 250), make([]byte, 5)) },
+		func() { il.Decode(make([]byte, 249), make([]byte, 6)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMustNewInterleavedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewInterleaved with bad params did not panic")
+		}
+	}()
+	MustNewInterleaved(0, 3, 2)
+}
+
+func BenchmarkInterleavedEncodeFlit(b *testing.B) {
+	il := MustNewInterleaved(250, 3, 2)
+	data := make([]byte, 250)
+	parity := make([]byte, 6)
+	b.SetBytes(250)
+	for i := 0; i < b.N; i++ {
+		il.Encode(data, parity)
+	}
+}
+
+func BenchmarkInterleavedDecodeClean(b *testing.B) {
+	il := MustNewInterleaved(250, 3, 2)
+	data := make([]byte, 250)
+	parity := make([]byte, 6)
+	il.Encode(data, parity)
+	b.SetBytes(250)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		il.Decode(data, parity)
+	}
+}
+
+func BenchmarkFECBurstDetection(b *testing.B) {
+	// Experiment E14 harness: throughput of decode under 4-byte bursts.
+	rng := rand.New(rand.NewSource(14))
+	il := MustNewInterleaved(250, 3, 2)
+	data := make([]byte, 250)
+	parity := make([]byte, 6)
+	il.Encode(data, parity)
+	clean := append([]byte(nil), data...)
+	cleanP := append([]byte(nil), parity...)
+	b.SetBytes(250)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(data, clean)
+		copy(parity, cleanP)
+		start := rng.Intn(246)
+		for j := 0; j < 4; j++ {
+			data[start+j] ^= 0xA5
+		}
+		il.Decode(data, parity)
+	}
+}

@@ -1,0 +1,180 @@
+// Package sim is a small discrete-event simulation engine with picosecond
+// resolution, used to drive the link-layer and fabric models. It provides a
+// deterministic event queue (stable FIFO ordering among same-time events)
+// and a Pipe primitive modeling a unidirectional wire with serialization
+// and propagation delay — the substrate on which flits move.
+//
+// The engine is single-threaded by design: determinism matters more than
+// parallel speedup for protocol-correctness experiments, and a 256B flit
+// every 2 ns means a single core simulates hundreds of thousands of flits
+// per second of wall time, ample for every experiment in the paper.
+package sim
+
+import "container/heap"
+
+// Time is a simulation timestamp in picoseconds.
+type Time int64
+
+// Convenient duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// FlitTime is the serialization time of a 256B flit on a full-speed x16
+// CXL 3.0 link (Section 7.2: "a ×16 link transmitting 256B flits every
+// 2ns").
+const FlitTime = 2 * Nanosecond
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break: schedule order
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event scheduler. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	// Executed counts dispatched events, a cheap progress metric.
+	Executed uint64
+}
+
+// NewEngine returns an engine at time 0 with an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn after delay (>= 0) simulation time. Events scheduled for
+// the same instant run in schedule order.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t (>= Now).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: scheduling into the past")
+	}
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight event
+// completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		e.step()
+	}
+}
+
+// RunUntil dispatches events with timestamps <= t, then advances the clock
+// to exactly t. Events scheduled at t are executed.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped && e.events[0].at <= t {
+		e.step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.Executed++
+	ev.fn()
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Pipe models a unidirectional wire: each Send occupies the wire for
+// SerializationDelay (back-to-back sends queue behind each other, FIFO) and
+// then propagates for PropagationDelay before Sink is invoked with the
+// payload. Busy time is accumulated for utilization/bandwidth accounting.
+type Pipe struct {
+	Engine             *Engine
+	SerializationDelay Time
+	PropagationDelay   Time
+	// Sink receives each payload at its arrival time.
+	Sink func(payload interface{})
+
+	busyUntil Time
+	// BusyTime is the cumulative serialization occupancy, the numerator
+	// of link utilization.
+	BusyTime Time
+	// Sent counts payloads accepted.
+	Sent uint64
+}
+
+// Send enqueues payload for transmission. It returns the time at which the
+// wire becomes free again (end of serialization), letting senders model
+// back-pressure.
+func (p *Pipe) Send(payload interface{}) Time {
+	start := p.Engine.Now()
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	end := start + p.SerializationDelay
+	p.busyUntil = end
+	p.BusyTime += p.SerializationDelay
+	p.Sent++
+	arrival := end + p.PropagationDelay
+	sink := p.Sink
+	pl := payload
+	p.Engine.At(arrival, func() { sink(pl) })
+	return end
+}
+
+// FreeAt returns the earliest time a new Send would start serializing.
+func (p *Pipe) FreeAt() Time {
+	if p.busyUntil > p.Engine.Now() {
+		return p.busyUntil
+	}
+	return p.Engine.Now()
+}
+
+// Utilization returns BusyTime divided by elapsed simulation time.
+func (p *Pipe) Utilization() float64 {
+	if p.Engine.Now() == 0 {
+		return 0
+	}
+	return float64(p.BusyTime) / float64(p.Engine.Now())
+}

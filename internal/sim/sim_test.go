@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time %d", e.Now())
+	}
+	if e.Executed != 3 {
+		t.Fatalf("executed %d", e.Executed)
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.Schedule(10, func() {
+		times = append(times, e.Now())
+		e.Schedule(5, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("times %v", times)
+	}
+}
+
+func TestZeroDelayRunsAtCurrentTime(t *testing.T) {
+	e := NewEngine()
+	var ran bool
+	e.Schedule(7, func() {
+		e.Schedule(0, func() {
+			if e.Now() != 7 {
+				t.Errorf("zero-delay event at %d", e.Now())
+			}
+			ran = true
+		})
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("zero-delay event never ran")
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for _, d := range []Time{5, 10, 15, 20} {
+		d := d
+		e.Schedule(d, func() { ran = append(ran, d) })
+	}
+	e.RunUntil(12)
+	if len(ran) != 2 {
+		t.Fatalf("ran %v", ran)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("clock %d, want 12", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+	// Boundary: events exactly at t are included.
+	e.RunUntil(15)
+	if len(ran) != 3 {
+		t.Fatalf("boundary event missed: %v", ran)
+	}
+	e.Run()
+	if len(ran) != 4 || e.Now() != 20 {
+		t.Fatalf("final: %v at %d", ran, e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 100; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 10 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("ran %d events after Stop", count)
+	}
+	// Run again resumes.
+	e.Run()
+	if count != 100 {
+		t.Fatalf("resume ran to %d", count)
+	}
+}
+
+func TestPipeDelays(t *testing.T) {
+	e := NewEngine()
+	var arrivals []Time
+	var got []interface{}
+	p := &Pipe{
+		Engine:             e,
+		SerializationDelay: 2 * Nanosecond,
+		PropagationDelay:   10 * Nanosecond,
+		Sink: func(pl interface{}) {
+			arrivals = append(arrivals, e.Now())
+			got = append(got, pl)
+		},
+	}
+	p.Send("a") // ser 0-2ns, arrives 12ns
+	p.Send("b") // ser 2-4ns, arrives 14ns
+	e.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals %v", arrivals)
+	}
+	if arrivals[0] != 12*Nanosecond || arrivals[1] != 14*Nanosecond {
+		t.Fatalf("arrival times %v", arrivals)
+	}
+	if got[0] != "a" || got[1] != "b" {
+		t.Fatalf("payload order %v", got)
+	}
+}
+
+func TestPipeSerializationQueuing(t *testing.T) {
+	e := NewEngine()
+	p := &Pipe{Engine: e, SerializationDelay: 5, PropagationDelay: 0, Sink: func(interface{}) {}}
+	end1 := p.Send(1)
+	end2 := p.Send(2)
+	if end1 != 5 || end2 != 10 {
+		t.Fatalf("serialization ends %d, %d", end1, end2)
+	}
+	if p.FreeAt() != 10 {
+		t.Fatalf("FreeAt %d", p.FreeAt())
+	}
+	e.Run()
+	if p.BusyTime != 10 {
+		t.Fatalf("BusyTime %d", p.BusyTime)
+	}
+}
+
+func TestPipeIdleGapNotCountedBusy(t *testing.T) {
+	e := NewEngine()
+	p := &Pipe{Engine: e, SerializationDelay: 2, PropagationDelay: 1, Sink: func(interface{}) {}}
+	p.Send(1)
+	e.Schedule(100, func() { p.Send(2) })
+	e.Run()
+	if p.BusyTime != 4 {
+		t.Fatalf("BusyTime %d, want 4", p.BusyTime)
+	}
+	u := p.Utilization()
+	want := 4.0 / float64(e.Now())
+	if u != want {
+		t.Fatalf("utilization %v, want %v", u, want)
+	}
+}
+
+func TestPipeInOrderUnderLoad(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	p := &Pipe{Engine: e, SerializationDelay: 3, PropagationDelay: 7,
+		Sink: func(pl interface{}) { got = append(got, pl.(int)) }}
+	for i := 0; i < 50; i++ {
+		i := i
+		e.Schedule(Time(i), func() { p.Send(i) })
+	}
+	e.Run()
+	if len(got) != 50 {
+		t.Fatalf("got %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, got[:i+1])
+		}
+	}
+	if p.Sent != 50 {
+		t.Fatalf("Sent %d", p.Sent)
+	}
+}
+
+func TestUtilizationZeroTime(t *testing.T) {
+	e := NewEngine()
+	p := &Pipe{Engine: e, SerializationDelay: 1, Sink: func(interface{}) {}}
+	if p.Utilization() != 0 {
+		t.Fatal("utilization at t=0 should be 0")
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i%1000), fn)
+		if e.Pending() > 10000 {
+			e.RunUntil(e.Now() + 500)
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkPipeSend(b *testing.B) {
+	e := NewEngine()
+	p := &Pipe{Engine: e, SerializationDelay: 2 * Nanosecond, PropagationDelay: 10 * Nanosecond,
+		Sink: func(interface{}) {}}
+	for i := 0; i < b.N; i++ {
+		p.Send(i)
+		if e.Pending() > 10000 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

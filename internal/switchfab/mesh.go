@@ -1,0 +1,281 @@
+package switchfab
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/link"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// Mesh is a W×H 2D-mesh Network-on-Chip built from the same switching
+// elements as the scale-out chains — the paper's future-work direction
+// ("extending ISN to other protocols and systems, such as Network-on-Chip
+// and chiplet interconnects"). Every hop terminates FEC; under ModeRXL
+// the end-to-end CRC (with ISN) passes through every router untouched, so
+// a flit crossing ten routers gets the same drop/corruption guarantees as
+// one crossing a single switch.
+//
+// Routing is dimension-ordered (XY): a flit first travels along X to its
+// destination column, then along Y — deadlock-free and deterministic,
+// which matters because ISN requires in-order single-path delivery
+// (Section 5 rules out multi-path for CXL-class protocols).
+type Mesh struct {
+	W, H int
+	Eng  *sim.Engine
+	// Routers indexes the switching elements as [x][y].
+	Routers [][]*Switch
+
+	// out[x][y][d] is the egress wire of router (x,y) toward direction d.
+	out [][][meshDirs]*link.Wire
+	// locals[x][y] delivers flits addressed to node (x,y).
+	locals [][]func(*flit.Flit)
+	// ingress[x][y] is the wire a node uses to inject at its router.
+	ingress [][]*link.Wire
+
+	wires []*link.Wire
+}
+
+// Mesh directions.
+const (
+	dirEast = iota
+	dirWest
+	dirSouth
+	dirNorth
+	meshDirs
+)
+
+// MeshConfig carries per-hop timing and the channel error model.
+type MeshConfig struct {
+	Mode          Mode
+	Serialization sim.Time
+	Propagation   sim.Time
+	RouterLatency sim.Time
+	// BER and BurstProb configure per-wire error channels (0 = clean).
+	BER       float64
+	BurstProb float64
+	Seed      uint64
+}
+
+// DefaultMeshConfig returns NoC-scale timing: 2 ns flits, 1 ns hops,
+// 2 ns router traversal.
+func DefaultMeshConfig(mode Mode) MeshConfig {
+	return MeshConfig{
+		Mode:          mode,
+		Serialization: sim.FlitTime,
+		Propagation:   sim.Nanosecond,
+		RouterLatency: 2 * sim.Nanosecond,
+	}
+}
+
+// NewMesh builds the W×H mesh. Node IDs are y*W+x, carried in the flit's
+// routing byte; W*H must fit in one byte.
+func NewMesh(eng *sim.Engine, w, h int, cfg MeshConfig) *Mesh {
+	if w < 1 || h < 1 || w*h > 256 {
+		panic(fmt.Sprintf("switchfab: mesh %dx%d out of range", w, h))
+	}
+	m := &Mesh{W: w, H: h, Eng: eng}
+	rng := phy.NewRNG(cfg.Seed)
+
+	m.Routers = make([][]*Switch, w)
+	m.out = make([][][meshDirs]*link.Wire, w)
+	m.locals = make([][]func(*flit.Flit), w)
+	m.ingress = make([][]*link.Wire, w)
+	for x := 0; x < w; x++ {
+		m.Routers[x] = make([]*Switch, h)
+		m.out[x] = make([][meshDirs]*link.Wire, h)
+		m.locals[x] = make([]func(*flit.Flit), h)
+		m.ingress[x] = make([]*link.Wire, h)
+		for y := 0; y < h; y++ {
+			m.Routers[x][y] = NewSwitch(fmt.Sprintf("R%d.%d", x, y), eng, cfg.Mode, cfg.RouterLatency, nil)
+		}
+	}
+
+	mkWire := func(deliver func(*flit.Flit)) *link.Wire {
+		wr := link.NewWire(eng, cfg.Serialization, cfg.Propagation, deliver)
+		if cfg.BER > 0 {
+			wr.Channel = phy.NewChannel(cfg.BER, cfg.BurstProb, rng.Split())
+		}
+		m.wires = append(m.wires, wr)
+		return wr
+	}
+
+	// Inter-router wires: each delivers into the neighbor's pipeline.
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			if x+1 < w {
+				m.out[x][y][dirEast] = mkWire(m.routerIngress(x+1, y))
+			}
+			if x > 0 {
+				m.out[x][y][dirWest] = mkWire(m.routerIngress(x-1, y))
+			}
+			if y+1 < h {
+				m.out[x][y][dirSouth] = mkWire(m.routerIngress(x, y+1))
+			}
+			if y > 0 {
+				m.out[x][y][dirNorth] = mkWire(m.routerIngress(x, y-1))
+			}
+			m.ingress[x][y] = mkWire(m.routerIngress(x, y))
+		}
+	}
+	return m
+}
+
+// NodeID returns the routing tag of node (x,y).
+func (m *Mesh) NodeID(x, y int) byte {
+	if x < 0 || x >= m.W || y < 0 || y >= m.H {
+		panic("switchfab: node out of mesh")
+	}
+	return byte(y*m.W + x)
+}
+
+// nodeXY decodes a routing tag; ok is false for tags outside the mesh.
+func (m *Mesh) nodeXY(id byte) (x, y int, ok bool) {
+	n := int(id)
+	if n >= m.W*m.H {
+		return 0, 0, false
+	}
+	return n % m.W, n / m.W, true
+}
+
+// AttachNode installs the delivery function of node (x,y) and returns the
+// wire its peers transmit into.
+func (m *Mesh) AttachNode(x, y int, deliver func(*flit.Flit)) *link.Wire {
+	if deliver == nil {
+		panic("switchfab: nil node deliver")
+	}
+	m.locals[x][y] = deliver
+	return m.ingress[x][y]
+}
+
+// Wires returns every wire for bulk channel/fault attachment (inter-router
+// and node-ingress).
+func (m *Mesh) Wires() []*link.Wire { return m.wires }
+
+// InterRouterWire returns the wire from router (x1,y1) to the adjacent
+// router (x2,y2), for targeted fault injection on one hop.
+func (m *Mesh) InterRouterWire(x1, y1, x2, y2 int) *link.Wire {
+	var w *link.Wire
+	switch {
+	case x2 == x1+1 && y2 == y1:
+		w = m.out[x1][y1][dirEast]
+	case x2 == x1-1 && y2 == y1:
+		w = m.out[x1][y1][dirWest]
+	case x2 == x1 && y2 == y1+1:
+		w = m.out[x1][y1][dirSouth]
+	case x2 == x1 && y2 == y1-1:
+		w = m.out[x1][y1][dirNorth]
+	}
+	if w == nil {
+		panic(fmt.Sprintf("switchfab: (%d,%d)-(%d,%d) are not adjacent mesh routers", x1, y1, x2, y2))
+	}
+	return w
+}
+
+// routerIngress builds the deliver function of router (x,y): run the
+// switch pipeline, then forward by XY dimension-ordered routing.
+func (m *Mesh) routerIngress(x, y int) func(*flit.Flit) {
+	r := m.Routers[x][y]
+	return func(f *flit.Flit) {
+		if !r.process(f) {
+			return
+		}
+		forward := func() {
+			dx, dy, ok := m.nodeXY(f.Payload()[flit.RouteOffset])
+			switch {
+			case !ok:
+				r.Stats.DroppedNoRoute++
+			case dx > x:
+				m.forwardTo(r, f, m.out[x][y][dirEast])
+			case dx < x:
+				m.forwardTo(r, f, m.out[x][y][dirWest])
+			case dy > y:
+				m.forwardTo(r, f, m.out[x][y][dirSouth])
+			case dy < y:
+				m.forwardTo(r, f, m.out[x][y][dirNorth])
+			default:
+				r.Stats.Forwarded++
+				if m.locals[x][y] != nil {
+					m.locals[x][y](f)
+				}
+			}
+		}
+		if r.Latency > 0 {
+			m.Eng.Schedule(r.Latency, forward)
+		} else {
+			forward()
+		}
+	}
+}
+
+func (m *Mesh) forwardTo(r *Switch, f *flit.Flit, w *link.Wire) {
+	if w == nil {
+		r.Stats.DroppedNoRoute++
+		return
+	}
+	r.Stats.Forwarded++
+	w.Send(f)
+}
+
+// TotalStats sums statistics across every router.
+func (m *Mesh) TotalStats() Stats {
+	var t Stats
+	for _, col := range m.Routers {
+		for _, r := range col {
+			t.FlitsIn += r.Stats.FlitsIn
+			t.Forwarded += r.Stats.Forwarded
+			t.DroppedUncorrectable += r.Stats.DroppedUncorrectable
+			t.DroppedCRC += r.Stats.DroppedCRC
+			t.DroppedNoRoute += r.Stats.DroppedNoRoute
+			t.CorrectedFlits += r.Stats.CorrectedFlits
+			t.CorrectedSymbols += r.Stats.CorrectedSymbols
+			t.InternalCorruptions += r.Stats.InternalCorruptions
+		}
+	}
+	return t
+}
+
+// MeshNode bundles the per-flow link peers of one mesh node: one peer per
+// remote node it talks to, demultiplexed by source tag on delivery.
+type MeshNode struct {
+	ID        byte
+	peers     map[byte]*link.Peer
+	attachAll meshAttach
+}
+
+// NewMeshNode attaches a node at (x,y) and returns its peer manager.
+// linkCfg is the base link configuration; protocol and routing tags are
+// filled per flow.
+func NewMeshNode(m *Mesh, x, y int, linkCfg link.Config) *MeshNode {
+	n := &MeshNode{ID: m.NodeID(x, y), peers: make(map[byte]*link.Peer)}
+	ingress := m.AttachNode(x, y, func(f *flit.Flit) {
+		src := f.Payload()[flit.SrcRouteOffset]
+		if p, ok := n.peers[src]; ok {
+			p.Receive(f)
+		}
+	})
+	n.attachAll = func(remote byte) *link.Peer {
+		cfg := linkCfg
+		cfg.StampRoute = true
+		cfg.SrcTag = n.ID
+		cfg.RouteTag = remote
+		p := link.NewPeer(fmt.Sprintf("n%d->n%d", n.ID, remote), m.Eng, cfg)
+		p.Attach(ingress)
+		n.peers[remote] = p
+		return p
+	}
+	return n
+}
+
+// attachAll creates the peer for a remote node (set in NewMeshNode).
+type meshAttach = func(remote byte) *link.Peer
+
+// PeerTo returns (creating on first use) this node's link peer for the
+// flow to the given remote node.
+func (n *MeshNode) PeerTo(remote byte) *link.Peer {
+	if p, ok := n.peers[remote]; ok {
+		return p
+	}
+	return n.attachAll(remote)
+}

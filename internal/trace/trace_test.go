@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flit"
+	"repro/internal/link"
+	"repro/internal/sim"
+)
+
+func TestTagPayloadRoundTrip(t *testing.T) {
+	f := func(tag uint64) bool {
+		return TagOf(TagPayload(tag, 16)) == tag
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagPayloadMinimumSize(t *testing.T) {
+	p := TagPayload(1, 0)
+	if len(p) != 8 {
+		t.Fatalf("len = %d, want 8", len(p))
+	}
+}
+
+func TestTagPayloadPanicsOnOversize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	TagPayload(0, flit.PayloadSize+1)
+}
+
+func TestUniformSchedule(t *testing.T) {
+	u := Uniform{N: 5, Interval: 2 * sim.Nanosecond, Start: 10 * sim.Nanosecond, Size: 16}
+	items := u.Generate()
+	if len(items) != 5 {
+		t.Fatalf("%d items", len(items))
+	}
+	for i, it := range items {
+		wantAt := 10*sim.Nanosecond + sim.Time(i)*2*sim.Nanosecond
+		if it.At != wantAt {
+			t.Errorf("item %d at %d, want %d", i, it.At, wantAt)
+		}
+		if it.Tag != uint64(i) || TagOf(it.Payload) != uint64(i) {
+			t.Errorf("item %d tag mismatch", i)
+		}
+	}
+	if u.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestUniformNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Uniform{N: -1}.Generate()
+}
+
+func TestBurstyScheduleStructure(t *testing.T) {
+	b := Bursty{N: 40, BurstLen: 4, Interval: sim.Nanosecond, MeanGap: 10 * sim.Nanosecond, Size: 16, Seed: 9}
+	items := b.Generate()
+	if len(items) != 40 {
+		t.Fatalf("%d items", len(items))
+	}
+	// Within a burst, spacing is exactly the interval; at burst
+	// boundaries it is at least the interval (geometric gaps can be one
+	// interval) and larger on average.
+	gaps := 0
+	var gapSum sim.Time
+	for i := 1; i < len(items); i++ {
+		d := items[i].At - items[i-1].At
+		if i%4 == 0 {
+			if d < sim.Nanosecond {
+				t.Errorf("burst boundary %d has gap %d, want >= interval", i, d)
+			}
+			gapSum += d
+			gaps++
+		} else if d != sim.Nanosecond {
+			t.Errorf("intra-burst gap %d at %d", d, i)
+		}
+	}
+	if gaps != 9 {
+		t.Fatalf("%d burst boundaries, want 9", gaps)
+	}
+	if gapSum <= sim.Time(gaps)*sim.Nanosecond {
+		t.Error("burst gaps never exceeded the interval; MeanGap ignored?")
+	}
+	if b.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestBurstyDeterminism(t *testing.T) {
+	b := Bursty{N: 30, BurstLen: 3, Interval: sim.Nanosecond, MeanGap: 5 * sim.Nanosecond, Seed: 4}
+	a1, a2 := b.Generate(), b.Generate()
+	for i := range a1 {
+		if a1[i].At != a2[i].At {
+			t.Fatal("bursty schedule not deterministic")
+		}
+	}
+}
+
+func TestBurstyPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Bursty{N: 10, BurstLen: 0, Interval: sim.Nanosecond}.Generate()
+}
+
+func TestMemoryStreamAddresses(t *testing.T) {
+	m := MemoryStream{N: 8, Base: 0x1000, Stride: 64, Interval: 2 * sim.Nanosecond}
+	items := m.Generate()
+	for i, it := range items {
+		if got := AddressOf(it.Payload); got != 0x1000+uint64(i)*64 {
+			t.Errorf("item %d address %#x", i, got)
+		}
+	}
+	if m.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestPoissonMeanInterval(t *testing.T) {
+	p := Poisson{N: 5000, MeanInterval: 20 * sim.Nanosecond, Size: 16, Seed: 11}
+	items := p.Generate()
+	total := items[len(items)-1].At - items[0].At
+	mean := float64(total) / float64(len(items)-1)
+	want := float64(20 * sim.Nanosecond)
+	if mean < want*0.8 || mean > want*1.2 {
+		t.Fatalf("mean interval %.0fps, want ≈%.0fps", mean, want)
+	}
+	// Monotone non-decreasing times.
+	for i := 1; i < len(items); i++ {
+		if items[i].At < items[i-1].At {
+			t.Fatal("times not sorted")
+		}
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestPoissonPanicsOnBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Poisson{N: 1, MeanInterval: 0}.Generate()
+}
+
+func TestCheckerCleanSequence(t *testing.T) {
+	c := NewChecker()
+	for i := uint64(0); i < 10; i++ {
+		c.Deliver(TagPayload(i, 16))
+	}
+	if !c.Clean() || c.Delivered != 10 || c.Next != 10 {
+		t.Fatalf("checker state: %+v", c)
+	}
+}
+
+func TestCheckerDetectsDuplicate(t *testing.T) {
+	c := NewChecker()
+	c.Deliver(TagPayload(0, 16))
+	c.Deliver(TagPayload(0, 16))
+	if c.Duplicates != 1 || c.Clean() {
+		t.Fatalf("duplicates = %d", c.Duplicates)
+	}
+}
+
+func TestCheckerDetectsSkip(t *testing.T) {
+	c := NewChecker()
+	c.Deliver(TagPayload(0, 16))
+	c.Deliver(TagPayload(2, 16)) // tag 1 missing
+	if c.OutOfOrder != 1 || c.Clean() {
+		t.Fatalf("out of order = %d", c.OutOfOrder)
+	}
+	// Resumes at the new high-water mark.
+	c.Deliver(TagPayload(3, 16))
+	if c.OutOfOrder != 1 {
+		t.Fatalf("checker did not resync: %+v", c)
+	}
+}
+
+func TestCheckerDetectsReorder(t *testing.T) {
+	c := NewChecker()
+	c.Deliver(TagPayload(1, 16))
+	c.Deliver(TagPayload(0, 16))
+	if c.OutOfOrder < 1 {
+		t.Fatal("reorder not flagged")
+	}
+}
+
+// TestInjectDrivesLink runs a uniform workload through a real simulated
+// link and verifies exactly-once in-order delivery end to end.
+func TestInjectDrivesLink(t *testing.T) {
+	eng := sim.NewEngine()
+	a := link.NewPeer("A", eng, link.DefaultConfig(link.ProtocolRXL))
+	b := link.NewPeer("B", eng, link.DefaultConfig(link.ProtocolRXL))
+	link.ConnectDirect(eng, a, b, sim.FlitTime, 10*sim.Nanosecond)
+
+	c := NewChecker()
+	b.Deliver = c.Deliver
+
+	items := Uniform{N: 300, Interval: sim.FlitTime, Size: 16}.Generate()
+	if n := Inject(eng, items, a.Submit); n != 300 {
+		t.Fatalf("scheduled %d", n)
+	}
+	eng.Run()
+	if !c.Clean() || c.Delivered != 300 {
+		t.Fatalf("delivery not clean: %+v", c)
+	}
+}

@@ -1,0 +1,455 @@
+package transaction
+
+import "fmt"
+
+// This file adds the MESI-lite coherence model referenced by the paper's
+// motivation (Sections 2.2 and 2.3): CXL.cache-style hosts and devices
+// keeping cache lines coherent across the interconnect. The model is
+// deliberately small — a directory at the host and write-back caches at
+// the devices — but it is a real state machine whose invariants (single
+// writer, no stale sharers) break observably when the link layer forwards
+// duplicated or misordered messages, which is exactly the amplification
+// path from flit drops to "unpredictable behaviors and inconsistencies
+// across caches" the paper describes.
+
+// Additional message kinds for the coherence protocol. They share the
+// Message wire format: Addr is the line address, Val the data hash, Tag the
+// requester/owner ID.
+const (
+	// KindRdShared requests a line in Shared state.
+	KindRdShared Kind = 4
+	// KindRdOwn requests a line in Exclusive/Modified (ownership) state.
+	KindRdOwn Kind = 5
+	// KindSnpInv asks a cache to invalidate its copy (directory → cache).
+	// Tag=1 requests an InvAck (ownership transfers); Tag=0 is a
+	// fire-and-forget downgrade.
+	KindSnpInv Kind = 6
+	// KindInvAck acknowledges an invalidation (cache → directory).
+	KindInvAck Kind = 7
+	// KindWriteBack returns modified data to the directory.
+	KindWriteBack Kind = 8
+	// KindGrant carries data and the granted state to a requester
+	// (directory → cache): Tag=0 grants Shared, Tag=1 grants Exclusive.
+	KindGrant Kind = 9
+)
+
+// LineState is a MESI cache-line state.
+type LineState uint8
+
+// MESI states.
+const (
+	Invalid LineState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("LineState(%d)", uint8(s))
+	}
+}
+
+// grant state encoding in Message.Tag.
+const (
+	grantShared    = 0
+	grantExclusive = 1
+)
+
+// snoop ack-requirement encoding in Message.Tag.
+const (
+	snpNoAck   = 0
+	snpWantAck = 1
+)
+
+// DirectoryStats counts directory events and protocol anomalies.
+type DirectoryStats struct {
+	SharedGrants    uint64
+	ExclusiveGrants uint64
+	Invalidations   uint64
+	WriteBacks      uint64
+	// ProtocolErrors counts messages that are impossible under in-order
+	// exactly-once delivery (e.g. a writeback from a non-owner) — the
+	// directory-side signature of link-layer failures.
+	ProtocolErrors uint64
+}
+
+// Directory is the host-side coherence agent: it tracks, per line, the set
+// of sharers and the exclusive owner, grants states, and issues
+// invalidations. Send transmits a message to the cache identified by the
+// message's Tag field (the requester ID travels in Tag for routing).
+type Directory struct {
+	// Send transmits m to cache `to`.
+	Send func(to uint8, m Message)
+
+	lines map[uint64]*dirLine
+	// pending tracks ownership requests waiting for invalidation acks.
+	pending map[uint64]*pendingOwn
+
+	Stats DirectoryStats
+}
+
+type dirLine struct {
+	sharers map[uint8]bool
+	owner   int16 // -1 when no exclusive owner
+	value   uint16
+	// waitQ serializes requests that arrive while an ownership transfer
+	// is pending on this line — the MSHR-style busy state every real
+	// directory needs once requests and acks travel with latency.
+	waitQ []queuedReq
+}
+
+type queuedReq struct {
+	from uint8
+	m    Message
+}
+
+type pendingOwn struct {
+	requester uint8
+	id        uint32
+	cqid      uint8
+	waitAcks  int
+}
+
+// NewDirectory constructs a directory whose lines initialize to the
+// synthetic memory image.
+func NewDirectory(send func(to uint8, m Message)) *Directory {
+	return &Directory{
+		Send:    send,
+		lines:   make(map[uint64]*dirLine),
+		pending: make(map[uint64]*pendingOwn),
+	}
+}
+
+func (d *Directory) line(addr uint64) *dirLine {
+	l, ok := d.lines[addr]
+	if !ok {
+		l = &dirLine{sharers: make(map[uint8]bool), owner: -1, value: SyntheticValue(addr)}
+		d.lines[addr] = l
+	}
+	return l
+}
+
+// Owner returns the exclusive owner of addr, or -1.
+func (d *Directory) Owner(addr uint64) int16 { return d.line(addr).owner }
+
+// Sharers returns the number of caches holding addr in Shared state.
+func (d *Directory) Sharers(addr uint64) int { return len(d.line(addr).sharers) }
+
+// Value returns the directory's current value hash for addr.
+func (d *Directory) Value(addr uint64) uint16 { return d.line(addr).value }
+
+// OnMessage processes one message from cache `from`.
+func (d *Directory) OnMessage(from uint8, m Message) {
+	switch m.Kind {
+	case KindRdShared, KindRdOwn:
+		// Serialize requests per line: while an ownership transfer is in
+		// flight, later requests wait in the line's queue.
+		if d.pending[m.Addr] != nil {
+			d.line(m.Addr).waitQ = append(d.line(m.Addr).waitQ, queuedReq{from: from, m: m})
+			return
+		}
+		if m.Kind == KindRdShared {
+			d.onRdShared(from, m)
+		} else {
+			d.onRdOwn(from, m)
+		}
+	case KindInvAck:
+		d.onInvAck(from, m)
+	case KindWriteBack:
+		d.onWriteBack(from, m)
+	}
+}
+
+func (d *Directory) onRdShared(from uint8, m Message) {
+	l := d.line(m.Addr)
+	if l.owner >= 0 {
+		// Downgrade the owner: in this simplified protocol the owner is
+		// invalidated and must re-request. (Real MESI would transition
+		// M→S with a writeback; invalidation keeps the state machine
+		// small without weakening the single-writer invariant.) No ack is
+		// needed: the grant and the snoop commit the directory state
+		// immediately, and per-link ordering delivers the snoop before
+		// any later grant to the same cache.
+		d.Stats.Invalidations++
+		d.Send(uint8(l.owner), Message{Kind: KindSnpInv, Addr: m.Addr, ID: m.ID, CQID: m.CQID, Tag: snpNoAck})
+		l.owner = -1
+	}
+	l.sharers[from] = true
+	d.Stats.SharedGrants++
+	d.Send(from, Message{Kind: KindGrant, Addr: m.Addr, ID: m.ID, CQID: m.CQID, Tag: grantShared, Val: l.value})
+}
+
+func (d *Directory) onRdOwn(from uint8, m Message) {
+	l := d.line(m.Addr)
+	need := 0
+	for s := range l.sharers {
+		if s != from {
+			d.Stats.Invalidations++
+			d.Send(s, Message{Kind: KindSnpInv, Addr: m.Addr, ID: m.ID, CQID: m.CQID, Tag: snpWantAck})
+			need++
+		}
+	}
+	if l.owner >= 0 && uint8(l.owner) != from {
+		d.Stats.Invalidations++
+		d.Send(uint8(l.owner), Message{Kind: KindSnpInv, Addr: m.Addr, ID: m.ID, CQID: m.CQID, Tag: snpWantAck})
+		need++
+	}
+	l.sharers = map[uint8]bool{}
+	l.owner = int16(from)
+	if need == 0 {
+		d.grantExclusive(from, m, l)
+		return
+	}
+	d.pending[m.Addr] = &pendingOwn{requester: from, id: m.ID, cqid: m.CQID, waitAcks: need}
+}
+
+// drainWaitQ resumes the oldest queued request for addr after a pending
+// transfer completes.
+func (d *Directory) drainWaitQ(addr uint64) {
+	l := d.line(addr)
+	for len(l.waitQ) > 0 && d.pending[addr] == nil {
+		q := l.waitQ[0]
+		l.waitQ = l.waitQ[1:]
+		if q.m.Kind == KindRdShared {
+			d.onRdShared(q.from, q.m)
+		} else {
+			d.onRdOwn(q.from, q.m)
+		}
+	}
+}
+
+func (d *Directory) grantExclusive(to uint8, m Message, l *dirLine) {
+	d.Stats.ExclusiveGrants++
+	d.Send(to, Message{Kind: KindGrant, Addr: m.Addr, ID: m.ID, CQID: m.CQID, Tag: grantExclusive, Val: l.value})
+}
+
+func (d *Directory) onInvAck(from uint8, m Message) {
+	p, ok := d.pending[m.Addr]
+	if !ok {
+		// An ack with no pending ownership transfer: a duplicated or
+		// misordered message reached us.
+		d.Stats.ProtocolErrors++
+		return
+	}
+	if p.id != m.ID {
+		// An ack for a different (stale) transfer — only possible when
+		// the transport duplicated or reordered messages.
+		d.Stats.ProtocolErrors++
+		return
+	}
+	p.waitAcks--
+	if p.waitAcks <= 0 {
+		delete(d.pending, m.Addr)
+		d.grantExclusive(p.requester, Message{Addr: m.Addr, ID: p.id, CQID: p.cqid}, d.line(m.Addr))
+		d.drainWaitQ(m.Addr)
+	}
+}
+
+func (d *Directory) onWriteBack(from uint8, m Message) {
+	l := d.line(m.Addr)
+	d.Stats.WriteBacks++
+	if l.owner != int16(from) {
+		// A writeback from a cache the directory does not consider the
+		// owner: impossible with reliable delivery.
+		d.Stats.ProtocolErrors++
+		return
+	}
+	l.value = m.Val
+	l.owner = -1
+}
+
+// CacheStats counts cache events and locally observable anomalies.
+type CacheStats struct {
+	ReadHits       uint64
+	WriteHits      uint64
+	SharedFills    uint64
+	ExclusiveFills uint64
+	Invalidated    uint64
+	// StaleGrants counts grants for lines with no outstanding miss — the
+	// cache-side signature of duplicated messages.
+	StaleGrants uint64
+}
+
+// Cache is a device-side MESI-lite cache.
+type Cache struct {
+	// ID is this cache's identity for directory routing.
+	ID uint8
+	// Send transmits a message to the directory.
+	Send func(Message)
+
+	state   map[uint64]LineState
+	value   map[uint64]uint16
+	waiting map[uint64]bool // outstanding misses by address
+	nextID  uint32
+
+	Stats CacheStats
+}
+
+// NewCache constructs a cache agent.
+func NewCache(id uint8, send func(Message)) *Cache {
+	return &Cache{
+		ID:      id,
+		Send:    send,
+		state:   make(map[uint64]LineState),
+		value:   make(map[uint64]uint16),
+		waiting: make(map[uint64]bool),
+	}
+}
+
+// State returns the MESI state of addr.
+func (c *Cache) State(addr uint64) LineState { return c.state[addr] }
+
+// Value returns the cached value hash of addr (meaningful outside Invalid).
+func (c *Cache) Value(addr uint64) uint16 { return c.value[addr] }
+
+// OutstandingMisses returns the number of in-flight fills.
+func (c *Cache) OutstandingMisses() int { return len(c.waiting) }
+
+// Read performs a load: a hit returns immediately; a miss issues RdShared.
+// It reports whether the access hit.
+func (c *Cache) Read(addr uint64) bool {
+	if c.state[addr] != Invalid {
+		c.Stats.ReadHits++
+		return true
+	}
+	if !c.waiting[addr] {
+		c.waiting[addr] = true
+		c.nextID++
+		c.Send(Message{Kind: KindRdShared, Addr: addr, ID: c.nextID, Tag: uint16(c.ID)})
+	}
+	return false
+}
+
+// Write performs a store of the value hash derived from addr and token: an
+// M/E hit updates locally; otherwise it issues RdOwn. It reports whether
+// the access hit.
+func (c *Cache) Write(addr uint64, val uint16) bool {
+	switch c.state[addr] {
+	case Modified, Exclusive:
+		c.Stats.WriteHits++
+		c.state[addr] = Modified
+		c.value[addr] = val
+		return true
+	default:
+		if !c.waiting[addr] {
+			c.waiting[addr] = true
+			c.nextID++
+			c.Send(Message{Kind: KindRdOwn, Addr: addr, ID: c.nextID, Tag: uint16(c.ID)})
+		}
+		return false
+	}
+}
+
+// WriteBack flushes a Modified line to the directory and invalidates it
+// locally.
+func (c *Cache) WriteBack(addr uint64) {
+	if c.state[addr] != Modified {
+		return
+	}
+	c.Send(Message{Kind: KindWriteBack, Addr: addr, Val: c.value[addr], Tag: uint16(c.ID)})
+	c.state[addr] = Invalid
+	delete(c.value, addr)
+}
+
+// OnMessage processes one message from the directory.
+func (c *Cache) OnMessage(m Message) {
+	switch m.Kind {
+	case KindGrant:
+		if !c.waiting[m.Addr] {
+			c.Stats.StaleGrants++
+			return
+		}
+		delete(c.waiting, m.Addr)
+		c.value[m.Addr] = m.Val
+		if m.Tag == grantExclusive {
+			c.state[m.Addr] = Exclusive
+			c.Stats.ExclusiveFills++
+		} else {
+			c.state[m.Addr] = Shared
+			c.Stats.SharedFills++
+		}
+	case KindSnpInv:
+		c.Stats.Invalidated++
+		c.state[m.Addr] = Invalid
+		delete(c.value, m.Addr)
+		if m.Tag == snpWantAck {
+			// Tag carries the cache ID for transports that route by it.
+			c.Send(Message{Kind: KindInvAck, Addr: m.Addr, ID: m.ID, CQID: m.CQID, Tag: uint16(c.ID)})
+		}
+	}
+}
+
+// AuditReport summarizes a coherence invariant check across a directory
+// and its caches.
+type AuditReport struct {
+	// SWMRViolations counts lines violating single-writer-multiple-reader:
+	// a Modified/Exclusive copy coexisting with any other valid copy.
+	SWMRViolations int
+	// StaleSharers counts Shared copies whose value differs from the
+	// directory's (dirty reads an application would observe).
+	StaleSharers int
+	// DirectoryDrift counts lines where the directory's owner/sharer
+	// bookkeeping disagrees with actual cache states.
+	DirectoryDrift int
+}
+
+// Clean reports whether every invariant held.
+func (r AuditReport) Clean() bool {
+	return r.SWMRViolations == 0 && r.StaleSharers == 0 && r.DirectoryDrift == 0
+}
+
+// Audit checks global MESI invariants across the given caches for every
+// line the directory knows. Call it at a quiescent point (no in-flight
+// messages) — with reliable transport it must come back clean; after
+// link-layer failures it is the ground-truth detector for coherence
+// corruption.
+func (d *Directory) Audit(caches []*Cache) AuditReport {
+	var r AuditReport
+	for addr, l := range d.lines {
+		owners, valid := 0, 0
+		for _, c := range caches {
+			switch c.State(addr) {
+			case Modified, Exclusive:
+				owners++
+				valid++
+			case Shared:
+				valid++
+				if c.Value(addr) != l.value {
+					r.StaleSharers++
+				}
+			}
+		}
+		if owners > 0 && valid > 1 {
+			r.SWMRViolations++
+		}
+		// Directory bookkeeping: a recorded owner must actually hold the
+		// line in M/E (unless a grant is still pending).
+		if l.owner >= 0 && d.pending[addr] == nil {
+			oc := findCache(caches, uint8(l.owner))
+			if oc != nil && oc.State(addr) != Modified && oc.State(addr) != Exclusive && oc.OutstandingMisses() == 0 {
+				r.DirectoryDrift++
+			}
+		}
+	}
+	return r
+}
+
+func findCache(caches []*Cache, id uint8) *Cache {
+	for _, c := range caches {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}

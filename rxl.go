@@ -1,0 +1,211 @@
+// Package rxl is a simulation and analysis library reproducing "Scaling
+// Out Chip Interconnect Networks with Implicit Sequence Numbers" (SC 2025).
+//
+// The paper proposes ISN — embedding the link sequence number in the CRC
+// instead of the flit header — and RXL, a CXL 3.0 extension that elevates
+// the 64-bit CRC to an end-to-end transport check while FEC stays per-hop.
+// This package exposes the reproduction's three toolkits:
+//
+//   - Simulation: build a Fabric (endpoints, switches, BER channels), push
+//     traffic through it, and account failures exactly as Section 7.1
+//     defines them (Fail_data, Fail_order). The deterministic Fig. 4 and
+//     Fig. 5 failure scenarios are packaged as one-call functions.
+//
+//   - Analysis: the closed-form reliability model (Eq. 1–10, Fig. 8) and
+//     bandwidth model (Eq. 11–14), with Monte-Carlo estimators validating
+//     each conditional stage.
+//
+//   - Hardware: the gate-level cost model behind Section 7.3's "10 XOR
+//     gates" claim, derived symbolically from the repository's own CRC.
+//
+// # Quick start
+//
+//	fabric := rxl.MustNewFabric(rxl.Config{
+//		Protocol: rxl.RXL,
+//		Levels:   2,    // two switching levels
+//		BER:      1e-6, // CXL 3.0 bit error rate
+//		Seed:     1,
+//	})
+//	exp := rxl.Experiment{Fabric: fabric, N: 10000}
+//	res := exp.Run()
+//	fmt.Println(res)
+//
+// The three protocol variants are Protocol values: CXL (baseline, ACK
+// piggybacking on the multiplexed FSN field), CXLNoPiggyback (explicit
+// sequence numbers, standalone ACK flits), and RXL (implicit sequence
+// numbers in the CRC).
+package rxl
+
+import (
+	"repro/internal/core"
+	"repro/internal/hwcost"
+	"repro/internal/link"
+	"repro/internal/perf"
+	"repro/internal/reliability"
+	"repro/internal/sim"
+	"repro/internal/switchfab"
+)
+
+// Protocol selects the sequence-integrity scheme of a fabric.
+type Protocol = link.Protocol
+
+// Protocol variants compared throughout the paper.
+const (
+	// CXL is baseline CXL 3.0: the 10-bit FSN header field is multiplexed
+	// between sequence numbers and piggybacked acknowledgments.
+	CXL = link.ProtocolCXL
+	// CXLNoPiggyback always sends explicit sequence numbers and pays for
+	// standalone ACK flits (Section 7.2.2, option 2).
+	CXLNoPiggyback = link.ProtocolCXLNoPiggyback
+	// RXL embeds the sequence number in the end-to-end CRC (ISN).
+	RXL = link.ProtocolRXL
+)
+
+// Config describes an end-to-end fabric: protocol, switching depth, error
+// injection, and timing.
+type Config = core.Config
+
+// LinkConfig parameterizes the link-layer peers (replay window, ACK
+// coalescing, timeouts).
+type LinkConfig = link.Config
+
+// DefaultLinkConfig returns the link parameters used by the paper's
+// analysis (p_coalescing = 0.1, 128-flit replay window).
+func DefaultLinkConfig(p Protocol) LinkConfig { return link.DefaultConfig(p) }
+
+// Fabric is a live end-to-end stack driven by the discrete-event engine.
+type Fabric = core.Fabric
+
+// NewFabric builds a fabric from the configuration.
+func NewFabric(cfg Config) (*Fabric, error) { return core.NewFabric(cfg) }
+
+// MustNewFabric is NewFabric panicking on error.
+func MustNewFabric(cfg Config) *Fabric { return core.MustNewFabric(cfg) }
+
+// Experiment drives a line-rate workload through a fabric and accounts
+// failures per the paper's taxonomy.
+type Experiment = core.Experiment
+
+// Result is the outcome of one experiment.
+type Result = core.Result
+
+// FailureCounts is the Section 7.1 failure taxonomy measured at the
+// application boundary.
+type FailureCounts = core.FailureCounts
+
+// RunComparison runs the same workload across all three protocol variants.
+func RunComparison(base Config, n int) map[Protocol]Result {
+	return core.RunComparison(base, n)
+}
+
+// Fig4Report is the outcome of the Fig. 4 link-layer drop scenario.
+type Fig4Report = core.Fig4Report
+
+// RunFig4 reproduces the paper's Fig. 4: a silent switch drop followed by
+// an AckNum-carrying flit. Under CXL it yields out-of-order delivery;
+// under RXL the ISN check detects the drop.
+func RunFig4(p Protocol) Fig4Report { return core.RunFig4(p) }
+
+// Fig5Report is the outcome of the Fig. 5 transaction-layer scenarios.
+type Fig5Report = core.Fig5Report
+
+// RunFig5a reproduces Fig. 5a (duplicate request execution).
+func RunFig5a(p Protocol) Fig5Report { return core.RunFig5a(p) }
+
+// RunFig5b reproduces Fig. 5b (out-of-order data within a CQID).
+func RunFig5b(p Protocol) Fig5Report { return core.RunFig5b(p) }
+
+// Reliability is the closed-form failure-rate model of Section 7.1
+// (Eq. 1–10 and Fig. 8).
+type Reliability = reliability.Params
+
+// DefaultReliability returns the paper's parameter set (BER 1e-6, 256B
+// flits, FER_UC 3e-5, p_coalescing 0.1, 500M flits/s).
+func DefaultReliability() Reliability { return reliability.DefaultParams() }
+
+// Fig8Point is one switching level of the Fig. 8 FIT comparison.
+type Fig8Point = reliability.Point
+
+// Fig8 returns the CXL-vs-RXL FIT series for switching levels 0..max.
+func Fig8(max int) []Fig8Point { return reliability.DefaultParams().Fig8(max) }
+
+// Performance is the bandwidth-loss model of Section 7.2 (Eq. 11–14).
+type Performance = perf.Params
+
+// DefaultPerformance returns the paper's timing (2 ns flits, 100 ns retry,
+// FER_UC 3e-5).
+func DefaultPerformance() Performance { return perf.DefaultParams() }
+
+// HardwareReport prices the ISN retrofit at the gate level (Section 7.3).
+type HardwareReport = hwcost.Report
+
+// DefaultHardwareReport models the paper's configuration: a 242-byte CRC
+// input and a 10-bit sequence number.
+func DefaultHardwareReport() HardwareReport { return hwcost.DefaultReport() }
+
+// MeshNode is one endpoint of a NoC, managing a link peer per remote node.
+type MeshNode = switchfab.MeshNode
+
+// NoC is a W×H 2D-mesh Network-on-Chip with XY routing — the paper's
+// future-work extension of ISN beyond scale-out fabrics (Section 8).
+// Every router terminates FEC per hop; under RXL the ISN-bearing CRC
+// passes through end to end.
+type NoC struct {
+	// Eng is the discrete-event engine driving the mesh.
+	Eng *sim.Engine
+	// Mesh exposes the routers and wires for fault injection.
+	Mesh *switchfab.Mesh
+
+	proto Protocol
+	nodes map[[2]int]*MeshNode
+}
+
+// NewNoC builds a w×h mesh NoC. The Config supplies protocol, BER/burst,
+// and seed; Levels and switch-specific fields are ignored.
+func NewNoC(w, h int, cfg Config) (*NoC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	mode := switchfab.ModeCXL
+	if cfg.Protocol == RXL {
+		mode = switchfab.ModeRXL
+	}
+	mc := switchfab.DefaultMeshConfig(mode)
+	mc.BER = cfg.BER
+	mc.BurstProb = cfg.BurstProb
+	mc.Seed = cfg.Seed
+	return &NoC{
+		Eng:   eng,
+		Mesh:  switchfab.NewMesh(eng, w, h, mc),
+		proto: cfg.Protocol,
+		nodes: make(map[[2]int]*MeshNode),
+	}, nil
+}
+
+// Node returns (creating on first use) the endpoint at mesh position
+// (x,y).
+func (n *NoC) Node(x, y int) *MeshNode {
+	key := [2]int{x, y}
+	if nd, ok := n.nodes[key]; ok {
+		return nd
+	}
+	nd := switchfab.NewMeshNode(n.Mesh, x, y, link.DefaultConfig(n.proto))
+	n.nodes[key] = nd
+	return nd
+}
+
+// Run drains the event queue.
+func (n *NoC) Run() { n.Eng.Run() }
+
+// Time is a simulation timestamp in picoseconds.
+type Time = sim.Time
+
+// Convenient duration units for Config timing fields.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	// FlitTime is the 2 ns serialization time of a 256B flit on a
+	// full-speed ×16 CXL 3.0 link.
+	FlitTime = sim.FlitTime
+)

@@ -1,0 +1,122 @@
+package rxl_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// The public-API tests exercise the library exactly as README consumers
+// would, keeping the documented entry points honest.
+
+func TestQuickstartFlow(t *testing.T) {
+	fabric := rxl.MustNewFabric(rxl.Config{
+		Protocol: rxl.RXL,
+		Levels:   2,
+		BER:      1e-6,
+		Seed:     1,
+	})
+	exp := rxl.Experiment{Fabric: fabric, N: 2000}
+	res := exp.Run()
+	if !res.Failures.Clean() {
+		t.Fatalf("quickstart not clean: %+v", res.Failures)
+	}
+	if res.Failures.Delivered != 2000 {
+		t.Fatalf("delivered %d", res.Failures.Delivered)
+	}
+}
+
+func TestNewFabricError(t *testing.T) {
+	if _, err := rxl.NewFabric(rxl.Config{Levels: -1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestProtocolConstantsDistinct(t *testing.T) {
+	if rxl.CXL == rxl.RXL || rxl.CXL == rxl.CXLNoPiggyback || rxl.RXL == rxl.CXLNoPiggyback {
+		t.Fatal("protocol constants collide")
+	}
+}
+
+func TestScenarioWrappers(t *testing.T) {
+	if rep := rxl.RunFig4(rxl.CXL); !rep.Misordered {
+		t.Error("Fig4 CXL must misorder")
+	}
+	if rep := rxl.RunFig4(rxl.RXL); rep.Misordered {
+		t.Error("Fig4 RXL must stay ordered")
+	}
+	if rep := rxl.RunFig5a(rxl.CXL); rep.DuplicateExecutions == 0 {
+		t.Error("Fig5a CXL must duplicate")
+	}
+	if rep := rxl.RunFig5b(rxl.CXL); rep.OutOfOrderData == 0 {
+		t.Error("Fig5b CXL must misorder data")
+	}
+}
+
+func TestAnalyticWrappers(t *testing.T) {
+	r := rxl.DefaultReliability()
+	if fit := r.FITCXL(1); fit < 1e15 {
+		t.Errorf("FIT_CXL(1) = %g", fit)
+	}
+	pts := rxl.Fig8(4)
+	if len(pts) != 5 {
+		t.Fatalf("%d points", len(pts))
+	}
+	p := rxl.DefaultPerformance()
+	if loss := p.BWLossSwitched(1); loss < 0.002 || loss > 0.004 {
+		t.Errorf("BW loss = %g", loss)
+	}
+	hw := rxl.DefaultHardwareReport()
+	if hw.ISNExtraXORs != 10 {
+		t.Errorf("extra XORs = %d", hw.ISNExtraXORs)
+	}
+}
+
+func TestRunComparisonWrapper(t *testing.T) {
+	res := rxl.RunComparison(rxl.Config{Levels: 1}, 100)
+	for _, proto := range []rxl.Protocol{rxl.CXL, rxl.CXLNoPiggyback, rxl.RXL} {
+		if res[proto].Failures.Delivered == 0 {
+			t.Errorf("%v delivered nothing", proto)
+		}
+	}
+}
+
+func TestNoCQuickstart(t *testing.T) {
+	noc, err := rxl.NewNoC(3, 3, rxl.Config{Protocol: rxl.RXL, BER: 1e-5, BurstProb: 0.4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := noc.Node(0, 0)
+	dst := noc.Node(2, 2)
+	tx := src.PeerTo(dst.ID)
+	delivered := 0
+	dst.PeerTo(src.ID).Deliver = func([]byte) { delivered++ }
+	payload := make([]byte, 16)
+	const n = 500
+	for i := 0; i < n; i++ {
+		tx.Submit(payload)
+	}
+	noc.Run()
+	if delivered != n {
+		t.Fatalf("delivered %d of %d", delivered, n)
+	}
+	if noc.Node(0, 0) != src {
+		t.Fatal("Node not memoized")
+	}
+}
+
+func TestNoCRejectsInvalidConfig(t *testing.T) {
+	if _, err := rxl.NewNoC(2, 2, rxl.Config{BER: -1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestDefaultLinkConfigOverride(t *testing.T) {
+	lc := rxl.DefaultLinkConfig(rxl.RXL)
+	lc.CoalesceCount = 4
+	fabric := rxl.MustNewFabric(rxl.Config{Protocol: rxl.RXL, LinkConfig: &lc})
+	exp := rxl.Experiment{Fabric: fabric, N: 100}
+	if res := exp.Run(); !res.Failures.Clean() {
+		t.Fatalf("custom link config broke delivery: %+v", res.Failures)
+	}
+}
