@@ -17,7 +17,10 @@
 package rxl_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/core"
@@ -321,3 +324,41 @@ func BenchmarkSimRXLSwitched2BER(b *testing.B) { benchSim(b, rxl.RXL, 2, 1e-6) }
 // BenchmarkSimCXLSwitched2: baseline CXL across two levels (same workload
 // as BenchmarkSimRXLSwitched2 for a cost comparison).
 func BenchmarkSimCXLSwitched2(b *testing.B) { benchSim(b, rxl.CXL, 2, 0) }
+
+// --- E18: parallel sharded runner (DESIGN.md architecture section) --------
+
+// BenchmarkParallelSweep runs a fixed Monte-Carlo workload (the E14 FEC
+// burst stage) sequentially and then sharded across an 8-worker pool, and
+// reports the wall-clock speedup as a custom metric. The merged aggregates
+// are asserted bit-identical — the runner buys wall clock, never changes
+// statistics. The speedup tracks min(8, GOMAXPROCS): ≈1× on one core,
+// ≥3× on 8.
+func BenchmarkParallelSweep(b *testing.B) {
+	const burst, trials, shards, workers = 4, 20000, 64, 8
+	ctx := context.Background()
+
+	var seqT, parT time.Duration
+	for i := 0; i < b.N; i++ {
+		// Sequential reference: the same shard set on one goroutine, so
+		// both sides do identical work and the ratio is pure scheduling.
+		start := time.Now()
+		seq, err := reliability.MeasureFECBurstSharded(ctx, rxl.Runner{Workers: 1, BaseSeed: 1}, burst, trials, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seqT += time.Since(start)
+
+		start = time.Now()
+		par, err := reliability.MeasureFECBurstSharded(ctx, rxl.Runner{Workers: workers, BaseSeed: 1}, burst, trials, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parT += time.Since(start)
+
+		if seq != par {
+			b.Fatalf("parallel aggregates diverge from sequential:\nseq %+v\npar %+v", seq, par)
+		}
+	}
+	b.ReportMetric(seqT.Seconds()/parT.Seconds(), "speedup")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}

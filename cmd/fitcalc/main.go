@@ -2,17 +2,26 @@
 // (Section 7.1): the per-equation headline numbers and the Fig. 8
 // FIT-versus-switching-levels comparison of CXL and RXL.
 //
+// With -mc it additionally validates the analytic chain by Monte-Carlo on
+// the sharded runner: stage-by-stage measurements (accelerated-BER flit
+// error rate, FEC burst outcomes) composed into the staged estimate, plus
+// a measured-vs-analytic BER sweep. -workers bounds concurrency without
+// changing any number.
+//
 // Usage:
 //
 //	fitcalc [-ber 1e-6] [-feruc 3e-5] [-pcoalescing 0.1] [-levels 8]
+//	        [-mc] [-mcflits 20000] [-workers 0] [-mcseed 42]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/reliability"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -20,6 +29,10 @@ func main() {
 	feruc := flag.Float64("feruc", reliability.DefaultFERUC, "uncorrectable flit error rate after FEC")
 	pc := flag.Float64("pcoalescing", reliability.DefaultPCoalescing, "fraction of flits carrying an AckNum")
 	levels := flag.Int("levels", 8, "maximum switching levels for the Fig. 8 sweep")
+	mc := flag.Bool("mc", false, "run the parallel Monte-Carlo validation of the model")
+	mcflits := flag.Int("mcflits", 20000, "Monte-Carlo flits/trials per stage")
+	workers := flag.Int("workers", 0, "runner worker pool size (0 = GOMAXPROCS)")
+	mcseed := flag.Uint64("mcseed", 42, "Monte-Carlo base seed")
 	flag.Parse()
 
 	p := reliability.DefaultParams()
@@ -69,5 +82,31 @@ func main() {
 		fmt.Printf("exceeds at %d.\n", l)
 	} else {
 		fmt.Println("never (through 16 levels).")
+	}
+
+	if *mc {
+		ctx := context.Background()
+		pool := runner.Pool{Workers: *workers, BaseSeed: *mcseed}
+		fmt.Println()
+		fmt.Printf("Monte-Carlo validation (sharded runner, %d shards)\n", reliability.DefaultShards)
+		fmt.Println("--------------------------------------------------")
+		est, err := reliability.StagedSharded(ctx, pool, 5e-4, *mcflits, 4, *mcflits, reliability.DefaultShards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(est)
+
+		accel := []float64{1e-4, 2e-4, 5e-4, 1e-3}
+		pts, err := reliability.MCBERSweep(ctx, pool, accel, *mcflits, reliability.DefaultShards/4)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("accelerated-BER cross-check (measured vs Eq. 1):")
+		fmt.Println("      BER     measured     analytic")
+		for _, pt := range pts {
+			fmt.Printf("%9.0e  %11.5f  %11.5f\n", pt.BER, pt.Sample.FER, pt.Sample.Analytic)
+		}
 	}
 }

@@ -3,19 +3,28 @@
 // error injection, reporting delivery integrity, retries, switch drops,
 // and bandwidth accounting.
 //
+// With -reps R the workload is replicated R times with deterministic
+// per-replica seeds derived from -seed, sharded across the runner's
+// worker pool (-workers), and reported per replica plus merged — the
+// Monte-Carlo form of the experiment. Results are bit-identical at any
+// worker count.
+//
 // Usage:
 //
 //	rxlsim [-proto rxl|cxl|cxl-nopb] [-levels 1] [-ber 1e-6] [-n 100000]
 //	       [-seed 1] [-burst 0.4] [-internal 0] [-compare]
+//	       [-reps 1] [-workers 0] [-csv out.csv]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/link"
+	"repro/internal/runner"
 )
 
 func parseProto(s string) (link.Protocol, error) {
@@ -40,7 +49,13 @@ func main() {
 	n := flag.Int("n", 100000, "payloads to transfer")
 	seed := flag.Uint64("seed", 1, "RNG seed (equal seeds reproduce runs exactly)")
 	compare := flag.Bool("compare", false, "run all three protocols on the same workload")
+	reps := flag.Int("reps", 1, "independent replicas with derived seeds, run on the worker pool")
+	workers := flag.Int("workers", 0, "runner worker pool size (0 = GOMAXPROCS)")
+	csvPath := flag.String("csv", "", "export replica results as CSV to this path")
 	flag.Parse()
+
+	ctx := context.Background()
+	pool := runner.Pool{Workers: *workers, BaseSeed: *seed}
 
 	base := core.Config{
 		Levels:           *levels,
@@ -51,10 +66,17 @@ func main() {
 	}
 
 	if *compare {
-		results := core.RunComparison(base, *n)
-		for _, p := range []link.Protocol{link.ProtocolCXL, link.ProtocolCXLNoPiggyback, link.ProtocolRXL} {
-			fmt.Println(results[p])
+		results, err := core.RunComparisonPool(ctx, pool, base, *n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
+		ordered := make([]core.Result, 0, len(core.Protocols))
+		for _, p := range core.Protocols {
+			fmt.Println(results[p])
+			ordered = append(ordered, results[p])
+		}
+		exportCSV(*csvPath, ordered)
 		return
 	}
 
@@ -64,6 +86,11 @@ func main() {
 		os.Exit(2)
 	}
 	base.Protocol = p
+
+	if *reps > 1 {
+		runReplicas(ctx, pool, base, *n, *reps, *csvPath)
+		return
+	}
 	fabric, err := core.NewFabric(base)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -72,6 +99,7 @@ func main() {
 	exp := core.Experiment{Fabric: fabric, N: *n}
 	res := exp.Run()
 	fmt.Println(res)
+	exportCSV(*csvPath, []core.Result{res})
 
 	fc := res.Failures
 	fmt.Printf("failure taxonomy: Fail_data=%d Fail_order=%d duplicates=%d missing=%d\n",
@@ -92,4 +120,58 @@ func main() {
 	if !fc.Clean() {
 		os.Exit(1)
 	}
+}
+
+// runReplicas runs `reps` independent copies of the configured experiment
+// with per-replica seeds derived from the base seed (replica seed 0 means
+// "derive"; runner.ShardSeed supplies it), reports each replica, and
+// merges the failure taxonomy — exactly-once semantics hold only if every
+// replica is clean.
+func runReplicas(ctx context.Context, pool runner.Pool, base core.Config, n, reps int, csvPath string) {
+	g := core.Grid{
+		Base:  base,
+		Seeds: make([]uint64, reps), // zeros: derived per cell from the pool seed
+		N:     n,
+	}
+	results, err := core.RunGrid(ctx, pool, g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var merged core.FailureCounts
+	var retx, drops uint64
+	clean := true
+	for i, r := range results {
+		fmt.Printf("rep %2d  %s\n", i, r)
+		merged.Delivered += r.Failures.Delivered
+		merged.FailData += r.Failures.FailData
+		merged.FailOrder += r.Failures.FailOrder
+		merged.Duplicates += r.Failures.Duplicates
+		merged.Missing += r.Failures.Missing
+		retx += r.LinkA.Retransmissions
+		drops += r.Switches.DroppedUncorrectable
+		clean = clean && r.Failures.Clean()
+	}
+	fmt.Printf("merged %d reps × %d payloads: delivered=%d dup=%d ooo=%d corrupt=%d missing=%d retx=%d drops=%d\n",
+		reps, n, merged.Delivered, merged.Duplicates, merged.FailOrder,
+		merged.FailData, merged.Missing, retx, drops)
+
+	exportCSV(csvPath, results)
+	if !clean {
+		os.Exit(1)
+	}
+}
+
+// exportCSV writes results to path when one was requested; every mode
+// (single run, -compare, -reps) honors the -csv flag through it.
+func exportCSV(path string, results []core.Result) {
+	if path == "" {
+		return
+	}
+	if err := runner.SaveCSV(path, core.GridCSVHeader(), core.ResultRows(results)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "result CSV written to %s\n", path)
 }

@@ -1,24 +1,35 @@
 // Command sweep regenerates every table and figure of the paper's
 // evaluation in one run: the Section 7.1 reliability numbers, the Fig. 8
 // FIT sweep, the Section 7.2 bandwidth table, the Section 7.3 hardware
-// cost, the deterministic Fig. 4/5 failure scenarios, and the Monte-Carlo
-// cross-checks backing the analytic model. Its output is the source of
-// EXPERIMENTS.md.
+// cost, the deterministic Fig. 4/5 failure scenarios, the Monte-Carlo
+// cross-checks backing the analytic model, and a parallel protocol ×
+// levels × BER grid of live simulations. Its output is the source of
+// EXPERIMENTS.md:
+//
+//	go run ./cmd/sweep > EXPERIMENTS.md
+//
+// Simulations and Monte-Carlo stages run on the sharded runner
+// (internal/runner): -workers bounds concurrency but never changes any
+// number — per-shard RNG seeds derive from the base seed and shard index,
+// so every worker count reproduces the same output bit for bit.
 //
 // Usage:
 //
-//	sweep [-mc] [-n 20000]
+//	sweep [-mc] [-n 20000] [-workers 0] [-grid] [-csv grid.csv] [-json grid.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/hwcost"
 	"repro/internal/link"
 	"repro/internal/perf"
 	"repro/internal/reliability"
+	"repro/internal/runner"
 )
 
 func header(title string) {
@@ -30,11 +41,22 @@ func header(title string) {
 	fmt.Println()
 }
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
 func main() {
 	mc := flag.Bool("mc", true, "run the Monte-Carlo cross-checks")
+	grid := flag.Bool("grid", true, "run the parallel protocol × levels × BER grid")
 	n := flag.Int("n", 20000, "payloads per live simulation")
+	workers := flag.Int("workers", 0, "runner worker pool size (0 = GOMAXPROCS)")
+	csvPath := flag.String("csv", "", "export the grid results as CSV to this path")
+	jsonPath := flag.String("json", "", "export the grid results as JSON to this path")
 	flag.Parse()
 
+	ctx := context.Background()
+	pool := runner.Pool{Workers: *workers, BaseSeed: 1}
 	rel := reliability.DefaultParams()
 	pf := perf.DefaultParams()
 
@@ -64,7 +86,7 @@ func main() {
 	fmt.Println(hwcost.DefaultReport())
 
 	header("Fig. 4 — link-layer drop scenario (deterministic)")
-	for _, p := range []link.Protocol{link.ProtocolCXL, link.ProtocolCXLNoPiggyback, link.ProtocolRXL} {
+	for _, p := range core.Protocols {
 		rep := core.RunFig4(p)
 		fmt.Printf("%-9s misordered=%-5v unverified=%d isn_detects=%d drops=%d tags=%v\n",
 			p, rep.Misordered, rep.UnverifiedDelivered, rep.CrcErrors, rep.SwitchDrops, rep.Tags)
@@ -86,20 +108,68 @@ func main() {
 
 	header("Live simulation — protocol comparison under BER")
 	fmt.Printf("(n=%d payloads, 1 switching level, accelerated BER 1e-5)\n", *n)
-	results := core.RunComparison(core.Config{Levels: 1, BER: 1e-5, BurstProb: 0.4, Seed: 7}, *n)
-	for _, p := range []link.Protocol{link.ProtocolCXL, link.ProtocolCXLNoPiggyback, link.ProtocolRXL} {
+	results, err := core.RunComparisonPool(ctx, pool, core.Config{Levels: 1, BER: 1e-5, BurstProb: 0.4, Seed: 7}, *n)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range core.Protocols {
 		fmt.Println(results[p])
 	}
 
+	if *grid {
+		header("Scale-out grid — protocol × levels × BER (parallel runner)")
+		g := core.Grid{
+			Base:      core.Config{BurstProb: 0.4},
+			Protocols: core.Protocols,
+			Levels:    []int{0, 1, 2},
+			BERs:      []float64{1e-6, 1e-5},
+			Seeds:     []uint64{7},
+			N:         max(1, *n/4),
+		}
+		fmt.Printf("(%d cells × %d payloads, sharded across the worker pool)\n", g.Size(), g.N)
+		res, err := core.RunGrid(ctx, pool, g)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range res {
+			fmt.Println(r)
+		}
+		if *csvPath != "" {
+			if err := runner.SaveCSV(*csvPath, core.GridCSVHeader(), core.ResultRows(res)); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "grid CSV written to %s\n", *csvPath)
+		}
+		if *jsonPath != "" {
+			if err := runner.SaveJSON(*jsonPath, res); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "grid JSON written to %s\n", *jsonPath)
+		}
+	}
+
 	if *mc {
-		header("Monte-Carlo cross-checks")
-		s := reliability.MeasureFER(5e-4, 20000, 42)
-		fmt.Printf("Eq. 1 at BER=5e-4: measured FER %.4f vs analytic %.4f\n", s.FER, s.Analytic)
+		header("Monte-Carlo cross-checks (sharded runner)")
+		s, err := reliability.MeasureFERSharded(ctx, pool, 5e-4, 20000, reliability.DefaultShards)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Eq. 1 at BER=5e-4: measured FER %.4f vs analytic %.4f (%d flits, %d shards)\n",
+			s.FER, s.Analytic, s.Flits, reliability.DefaultShards)
 		for _, b := range []int{3, 4, 5, 6} {
-			o := reliability.MeasureFECBurst(b, 20000, uint64(b)*977)
+			o, err := reliability.MeasureFECBurstSharded(ctx, runner.Pool{Workers: *workers, BaseSeed: uint64(b) * 977}, b, 20000, reliability.DefaultShards)
+			if err != nil {
+				fatal(err)
+			}
 			fmt.Printf("FEC %dB bursts: corrected=%d detected=%d miscorrected=%d detection=%.4f\n",
 				b, o.Corrected, o.Detected, o.Miscorrected, o.DetectionRate())
 		}
 		fmt.Println("(paper Section 2.5: detection 2/3 at 4B, 8/9 at 5B, 26/27 at >=6B)")
+
+		est, err := reliability.StagedSharded(ctx, pool, 5e-4, 20000, 4, 20000, reliability.DefaultShards)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(est)
 	}
 }

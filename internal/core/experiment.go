@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/link"
 	"repro/internal/perf"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/switchfab"
 )
@@ -83,17 +85,42 @@ func (e *Experiment) Run() Result {
 	return res
 }
 
+// Protocols lists the three variants compared throughout the paper, in
+// presentation order.
+var Protocols = []link.Protocol{link.ProtocolCXL, link.ProtocolCXLNoPiggyback, link.ProtocolRXL}
+
 // RunComparison runs the same workload and seed across the three protocol
 // variants at the given configuration, returning the results keyed by
-// protocol — the core of the paper's CXL-vs-RXL tables.
+// protocol — the core of the paper's CXL-vs-RXL tables. The variants run
+// concurrently on the sharded runner (each on its own engine); results are
+// identical to running them sequentially.
 func RunComparison(base Config, n int) map[link.Protocol]Result {
-	out := make(map[link.Protocol]Result, 3)
-	for _, proto := range []link.Protocol{link.ProtocolCXL, link.ProtocolCXLNoPiggyback, link.ProtocolRXL} {
-		cfg := base
-		cfg.Protocol = proto
-		cfg.LinkConfig = nil // protocol-correct defaults per variant
-		exp := Experiment{Fabric: MustNewFabric(cfg), N: n}
-		out[proto] = exp.Run()
+	out, err := RunComparisonPool(context.Background(), runner.Pool{Workers: len(Protocols)}, base, n)
+	if err != nil {
+		panic(err)
 	}
 	return out
+}
+
+// RunComparisonPool is RunComparison with an explicit context and pool.
+func RunComparisonPool(ctx context.Context, pool runner.Pool, base Config, n int) (map[link.Protocol]Result, error) {
+	results, err := runner.Map(ctx, pool, len(Protocols), func(ctx context.Context, s runner.Shard) (Result, error) {
+		cfg := base
+		cfg.Protocol = Protocols[s.Index]
+		cfg.LinkConfig = nil // protocol-correct defaults per variant
+		f, err := NewFabric(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		exp := Experiment{Fabric: f, N: n}
+		return exp.Run(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[link.Protocol]Result, len(Protocols))
+	for i, p := range Protocols {
+		out[p] = results[i]
+	}
+	return out, nil
 }

@@ -1,0 +1,146 @@
+package core
+
+// Grid experiments: the job-generator side of the parallel sharded runner
+// (internal/runner). A Grid enumerates a protocol × levels × BER × seed
+// job set; RunGrid shards the cells across a worker pool, runs each cell
+// on its own single-threaded sim.Engine, and returns the results in cell
+// order — bit-identical at any worker count, because each cell's fabric is
+// seeded independently of scheduling.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/link"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// Grid enumerates an experiment job set over the four axes the paper's
+// evaluation varies. Empty axes inherit the single value from Base, so a
+// Grid with only Protocols set is a protocol comparison, one with only
+// BERs set is a BER sweep, and so on.
+type Grid struct {
+	// Base supplies every Config field the axes do not vary (burst
+	// probability, internal corruption, timing overrides, link config).
+	Base Config
+	// Protocols, Levels, BERs and Seeds are the swept axes. Cells are
+	// enumerated protocol-major, seeds innermost.
+	Protocols []link.Protocol
+	Levels    []int
+	BERs      []float64
+	Seeds     []uint64
+	// N is the number of line-rate payloads offered per cell.
+	N int
+}
+
+// normalized returns the grid with every empty axis replaced by the
+// corresponding single Base value.
+func (g Grid) normalized() Grid {
+	if len(g.Protocols) == 0 {
+		g.Protocols = []link.Protocol{g.Base.Protocol}
+	}
+	if len(g.Levels) == 0 {
+		g.Levels = []int{g.Base.Levels}
+	}
+	if len(g.BERs) == 0 {
+		g.BERs = []float64{g.Base.BER}
+	}
+	if len(g.Seeds) == 0 {
+		g.Seeds = []uint64{g.Base.Seed}
+	}
+	return g
+}
+
+// Size is the number of cells the grid enumerates.
+func (g Grid) Size() int {
+	g = g.normalized()
+	return len(g.Protocols) * len(g.Levels) * len(g.BERs) * len(g.Seeds)
+}
+
+// Configs enumerates the cell configurations in deterministic order:
+// protocol-major, then levels, then BER, with seeds innermost.
+func (g Grid) Configs() []Config {
+	g = g.normalized()
+	out := make([]Config, 0, g.Size())
+	for _, proto := range g.Protocols {
+		for _, lv := range g.Levels {
+			for _, ber := range g.BERs {
+				for _, seed := range g.Seeds {
+					cfg := g.Base
+					cfg.Protocol = proto
+					cfg.Levels = lv
+					cfg.BER = ber
+					cfg.Seed = seed
+					out = append(out, cfg)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunGrid runs every cell of the grid across the pool's workers and
+// returns the results in cell order (see Grid.Configs). Each cell builds
+// its own fabric — engine, channels, RNG streams — from its own seed, so
+// the result set is bit-identical at workers=1 and workers=NumCPU. Cells
+// whose seed is zero get a deterministic per-cell seed derived from the
+// pool's base seed and the cell index, so multi-replica grids need not
+// spell out every seed.
+func RunGrid(ctx context.Context, pool runner.Pool, g Grid) ([]Result, error) {
+	if g.N <= 0 {
+		return nil, fmt.Errorf("core: grid needs N > 0 payloads per cell")
+	}
+	cfgs := g.Configs()
+	return runner.Map(ctx, pool, len(cfgs), func(ctx context.Context, s runner.Shard) (Result, error) {
+		cfg := cfgs[s.Index]
+		if cfg.Seed == 0 {
+			cfg.Seed = s.Seed
+		}
+		f, err := NewFabric(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		exp := Experiment{Fabric: f, N: g.N}
+		return exp.Run(), nil
+	})
+}
+
+// GridCSVHeader is the column set of Result.CSVRow, for runner.WriteCSV.
+func GridCSVHeader() []string {
+	return []string{
+		"protocol", "levels", "ber", "seed", "offered", "delivered",
+		"duplicates", "fail_order", "fail_data", "missing",
+		"switch_drops", "retransmissions", "bw_loss", "elapsed_ns",
+	}
+}
+
+// CSVRow renders the result as one row under GridCSVHeader.
+func (r Result) CSVRow() []string {
+	return []string{
+		fmt.Sprint(r.Cfg.Protocol),
+		strconv.Itoa(r.Cfg.Levels),
+		strconv.FormatFloat(r.Cfg.BER, 'g', -1, 64),
+		strconv.FormatUint(r.Cfg.Seed, 10),
+		strconv.Itoa(r.Offered),
+		strconv.Itoa(r.Failures.Delivered),
+		strconv.Itoa(r.Failures.Duplicates),
+		strconv.Itoa(r.Failures.FailOrder),
+		strconv.Itoa(r.Failures.FailData),
+		strconv.Itoa(r.Failures.Missing),
+		strconv.FormatUint(r.Switches.DroppedUncorrectable, 10),
+		strconv.FormatUint(r.LinkA.Retransmissions, 10),
+		strconv.FormatFloat(r.Goodput.BWLoss, 'g', -1, 64),
+		strconv.FormatInt(int64(r.Elapsed/sim.Nanosecond), 10),
+	}
+}
+
+// ResultRows renders a result slice for runner.WriteCSV.
+func ResultRows(results []Result) [][]string {
+	rows := make([][]string, len(results))
+	for i, r := range results {
+		rows[i] = r.CSVRow()
+	}
+	return rows
+}

@@ -1,0 +1,45 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteCSV(&sb, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if sb.String() != want {
+		t.Fatalf("CSV %q, want %q", sb.String(), want)
+	}
+}
+
+func TestWriteCSVRaggedRow(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, []string{"a", "b"}, [][]string{{"1"}}); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSON(&sb, map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); !strings.Contains(got, `"x": 1`) {
+		t.Fatalf("JSON %q missing field", got)
+	}
+}
+
+func TestSaveCSVAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveCSV(dir+"/out.csv", []string{"h"}, [][]string{{"v"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveJSON(dir+"/out.json", []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -37,11 +37,14 @@
 package rxl
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/hwcost"
 	"repro/internal/link"
 	"repro/internal/perf"
 	"repro/internal/reliability"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/switchfab"
 )
@@ -96,6 +99,24 @@ type FailureCounts = core.FailureCounts
 // RunComparison runs the same workload across all three protocol variants.
 func RunComparison(base Config, n int) map[Protocol]Result {
 	return core.RunComparison(base, n)
+}
+
+// Runner is the parallel sharded experiment pool. It shards a job set —
+// a SweepGrid or N Monte-Carlo trials — across Workers goroutines with
+// deterministic per-shard RNG derivation from BaseSeed, so any worker
+// count reproduces bit-identical merged results. The zero value runs with
+// GOMAXPROCS workers and base seed 0.
+type Runner = runner.Pool
+
+// SweepGrid enumerates a protocol × levels × BER × seed experiment job
+// set. Empty axes inherit the single value from Base.
+type SweepGrid = core.Grid
+
+// Sweep runs every cell of the grid across the pool's workers, each on
+// its own single-threaded engine, and returns results in cell order.
+// Results are bit-identical at any worker count for a fixed BaseSeed.
+func Sweep(ctx context.Context, pool Runner, grid SweepGrid) ([]Result, error) {
+	return core.RunGrid(ctx, pool, grid)
 }
 
 // Fig4Report is the outcome of the Fig. 4 link-layer drop scenario.

@@ -1,6 +1,8 @@
 package rxl_test
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"repro"
@@ -77,6 +79,37 @@ func TestRunComparisonWrapper(t *testing.T) {
 	for _, proto := range []rxl.Protocol{rxl.CXL, rxl.CXLNoPiggyback, rxl.RXL} {
 		if res[proto].Failures.Delivered == 0 {
 			t.Errorf("%v delivered nothing", proto)
+		}
+	}
+}
+
+// TestSweepFacade drives the parallel sharded runner exactly as README
+// documents: a protocol × levels grid on an explicit pool, deterministic
+// across worker counts.
+func TestSweepFacade(t *testing.T) {
+	grid := rxl.SweepGrid{
+		Base:      rxl.Config{BurstProb: 0.4},
+		Protocols: []rxl.Protocol{rxl.CXL, rxl.RXL},
+		Levels:    []int{0, 1},
+		BERs:      []float64{1e-5},
+		Seeds:     []uint64{7},
+		N:         1000,
+	}
+	ctx := context.Background()
+	one, err := rxl.Sweep(ctx, rxl.Runner{Workers: 1, BaseSeed: 2}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := rxl.Sweep(ctx, rxl.Runner{Workers: 8, BaseSeed: 2}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != grid.Size() || !reflect.DeepEqual(one, many) {
+		t.Fatalf("sweep results differ across worker counts (%d cells)", len(one))
+	}
+	for _, r := range one {
+		if r.Failures.Delivered != grid.N {
+			t.Fatalf("%s delivered %d of %d", r.Cfg.Protocol, r.Failures.Delivered, grid.N)
 		}
 	}
 }
