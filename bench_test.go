@@ -325,6 +325,109 @@ func BenchmarkSimRXLSwitched2BER(b *testing.B) { benchSim(b, rxl.RXL, 2, 1e-6) }
 // as BenchmarkSimRXLSwitched2 for a cost comparison).
 func BenchmarkSimCXLSwitched2(b *testing.B) { benchSim(b, rxl.CXL, 2, 0) }
 
+// --- PR 2: error-event fast path ------------------------------------------
+
+// benchFlitTransfer drives line-rate traffic through a two-level switched
+// fabric at the paper's operating point (BER 1e-6) with the error-event
+// fast path on or off. Differential tests guarantee both paths produce
+// bit-identical results; this benchmark measures what the fast path buys —
+// ns/flit and allocs/flit (near-zero on the fast path thanks to schedule
+// skips, deferred seals, and flit/entry pooling).
+func benchFlitTransfer(b *testing.B, fast bool) {
+	b.ReportAllocs()
+	fabric := rxl.MustNewFabric(rxl.Config{
+		Protocol: rxl.RXL, Levels: 2, BER: 1e-6, BurstProb: 0.4,
+		Seed: 11, NoFastPath: !fast,
+	})
+	delivered := 0
+	fabric.B().Deliver = func([]byte) { delivered++ }
+	payload := make([]byte, 64)
+	b.SetBytes(flit.Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fabric.A().Submit(payload)
+		if fabric.A().Queued() > 256 {
+			fabric.Run()
+		}
+	}
+	fabric.Run()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// BenchmarkFlitTransfer compares the full simulator inner loop with the
+// error-event fast path against the byte-level reference path.
+func BenchmarkFlitTransfer(b *testing.B) {
+	b.Run("fastpath", func(b *testing.B) { benchFlitTransfer(b, true) })
+	b.Run("bytelevel", func(b *testing.B) { benchFlitTransfer(b, false) })
+}
+
+// seedFERLoop reproduces the pre-PR-2 Monte-Carlo FER inner loop exactly:
+// per flit, zero a 256B image, draw a fresh geometric gap (truncated at
+// the flit boundary — the statistical bug the residual-gap fix removed),
+// and scan/corrupt byte-level. It is the "before" against which the
+// error-event schedule's speedup is measured; it is kept here, not in
+// internal/phy, because nothing but this benchmark should ever run it.
+func seedFERLoop(ber float64, flits int, seed uint64) int {
+	rng := phy.NewRNG(seed)
+	buf := make([]byte, flit.Size)
+	bits := flit.Bits
+	bad := 0
+	for i := 0; i < flits; i++ {
+		for j := range buf {
+			buf[j] = 0
+		}
+		flipped := 0
+		pos := rng.Geometric(ber)
+		for pos < bits {
+			buf[pos/8] ^= 1 << (7 - pos%8)
+			flipped++
+			gap := rng.Geometric(ber)
+			if gap >= bits {
+				break
+			}
+			pos += 1 + gap
+		}
+		if flipped > 0 {
+			bad++
+		}
+	}
+	return bad
+}
+
+// BenchmarkMCInnerLoopFastPath measures the Monte-Carlo FER inner loop at
+// the production operating point (BER 1e-6, where <1 in ~500 flits sees an
+// error) three ways — the seed's per-flit loop, this PR's byte-level path
+// (already schedule-backed, so clean flits skip the corruption scan), and
+// the image-free error-event schedule — asserts byte-level and schedule
+// samples are bit-identical, and reports throughput ratios as custom
+// metrics. `speedup` is schedule vs the seed loop (acceptance bar: ≥ 10×).
+func BenchmarkMCInnerLoopFastPath(b *testing.B) {
+	const ber, flits = 1e-6, 300_000
+	var seedT, slowT, fastT time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		seedFERLoop(ber, flits, 1)
+		seedT += time.Since(start)
+
+		start = time.Now()
+		ref := reliability.MeasureFER(ber, flits, 1)
+		slowT += time.Since(start)
+
+		start = time.Now()
+		sched := reliability.MeasureFERSchedule(ber, flits, 1)
+		fastT += time.Since(start)
+
+		if ref != sched {
+			b.Fatalf("schedule sample diverges from byte-level:\nbyte %+v\nsched %+v", ref, sched)
+		}
+	}
+	b.ReportMetric(seedT.Seconds()/fastT.Seconds(), "speedup")
+	b.ReportMetric(slowT.Seconds()/fastT.Seconds(), "speedup_vs_bytelevel")
+	b.ReportMetric(float64(flits)*float64(b.N)/fastT.Seconds()/1e6, "Mflits_per_s")
+}
+
 // --- E18: parallel sharded runner (DESIGN.md architecture section) --------
 
 // BenchmarkParallelSweep runs a fixed Monte-Carlo workload (the E14 FEC

@@ -42,6 +42,12 @@ type Config struct {
 	// LinkConfig overrides the link-layer configuration. Nil means
 	// link.DefaultConfig(Protocol).
 	LinkConfig *link.Config
+	// NoFastPath forces the byte-level reference path on every link,
+	// overriding LinkConfig/defaults: no deferred seals, no error-event
+	// schedule skips. The zero value keeps the fast path on (the
+	// link.DefaultConfig default); the differential tests prove the two
+	// settings produce bit-identical results for identical seeds.
+	NoFastPath bool
 	// Serialization, Propagation and SwitchLatency override the default
 	// per-hop timing when non-zero.
 	Serialization sim.Time
@@ -81,6 +87,9 @@ func NewFabric(cfg Config) (*Fabric, error) {
 	ccfg := switchfab.DefaultChainConfig(cfg.Protocol, cfg.Levels)
 	if cfg.LinkConfig != nil {
 		ccfg.LinkCfg = *cfg.LinkConfig
+	}
+	if cfg.NoFastPath {
+		ccfg.LinkCfg.FastPath = false
 	}
 	if cfg.Serialization > 0 {
 		ccfg.Serialization = cfg.Serialization

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/sim"
+	"repro/internal/switchfab"
+	"repro/internal/trace"
+)
+
+// channelStats is the per-wire channel accounting a fabric run leaves
+// behind, in AllWires order.
+type channelStats struct {
+	BitsSeen, BitsFlipped, ErrorEvents, UnitsTouched uint64
+}
+
+// runOnce executes one experiment and returns its result (with the config
+// blanked so fast and slow runs compare equal) plus every wire channel's
+// statistics.
+func runOnce(t *testing.T, cfg Config, n int) (Result, []channelStats) {
+	t.Helper()
+	f, err := NewFabric(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := Experiment{Fabric: f, N: n}
+	res := exp.Run()
+	res.Cfg = Config{}
+	var chs []channelStats
+	for _, w := range f.Chain.AllWires() {
+		if w.Channel == nil {
+			continue
+		}
+		chs = append(chs, channelStats{
+			BitsSeen:     w.Channel.BitsSeen,
+			BitsFlipped:  w.Channel.BitsFlipped,
+			ErrorEvents:  w.Channel.ErrorEvents,
+			UnitsTouched: w.Channel.UnitsTouched,
+		})
+	}
+	return res, chs
+}
+
+// assertFastSlowIdentical runs cfg with the fast path on and off and
+// requires bit-identical results: failure taxonomy, link and switch
+// statistics, goodput, simulated time, and per-wire channel accounting.
+func assertFastSlowIdentical(t *testing.T, cfg Config, n int) {
+	t.Helper()
+	fastCfg, slowCfg := cfg, cfg
+	fastCfg.NoFastPath = false
+	slowCfg.NoFastPath = true
+
+	fastRes, fastChs := runOnce(t, fastCfg, n)
+	slowRes, slowChs := runOnce(t, slowCfg, n)
+
+	if !reflect.DeepEqual(fastRes, slowRes) {
+		t.Errorf("results diverge:\nfast: %+v\nslow: %+v", fastRes, slowRes)
+	}
+	if !reflect.DeepEqual(fastChs, slowChs) {
+		t.Errorf("channel stats diverge:\nfast: %+v\nslow: %+v", fastChs, slowChs)
+	}
+}
+
+// TestFastPathDifferential is the correctness bar of the error-event fast
+// path: for identical seeds, FastPath=true and FastPath=false must produce
+// bit-identical experiment results — same Fail_data/Fail_order counts,
+// same retransmissions, same channel statistics, same simulated end time —
+// across all three protocols, switching depths 0-2, and a BER grid
+// spanning error-free, rare-error, and retry-heavy operating points.
+func TestFastPathDifferential(t *testing.T) {
+	const n = 600
+	for _, proto := range Protocols {
+		for _, levels := range []int{0, 1, 2} {
+			for _, ber := range []float64{0, 1e-6, 1e-4} {
+				cfg := Config{
+					Protocol:  proto,
+					Levels:    levels,
+					BER:       ber,
+					BurstProb: 0.4,
+					Seed:      1000*uint64(levels) + 7,
+				}
+				name := fmt.Sprintf("%s/L%d/BER%g", proto, levels, ber)
+				t.Run(name, func(t *testing.T) {
+					assertFastSlowIdentical(t, cfg, n)
+				})
+			}
+		}
+	}
+}
+
+// TestFastPathDifferentialInternalCorruption adds switch-internal bit
+// flips, which force clean flits onto the byte-level path mid-fabric: the
+// materialized image must be byte-identical to an eagerly sealed one, or
+// CRC/FEC verdicts — and therefore failure counts — diverge.
+func TestFastPathDifferentialInternalCorruption(t *testing.T) {
+	for _, proto := range Protocols {
+		cfg := Config{
+			Protocol:         proto,
+			Levels:           2,
+			BER:              1e-5,
+			InternalFlipProb: 2e-3,
+			Seed:             99,
+		}
+		t.Run(proto.String(), func(t *testing.T) {
+			assertFastSlowIdentical(t, cfg, 600)
+		})
+	}
+}
+
+// TestFastPathDifferentialSelectiveRepeat exercises the selective-repeat
+// retry engine, whose retransmissions and reassembly buffering must stay
+// on the byte-level path under FastPath.
+func TestFastPathDifferentialSelectiveRepeat(t *testing.T) {
+	// RXL cannot run selective repeat (ISN has no explicit sequence
+	// numbers to reorder by), so only the CXL variants apply.
+	for _, proto := range []link.Protocol{link.ProtocolCXL, link.ProtocolCXLNoPiggyback} {
+		lcfg := link.DefaultConfig(proto)
+		lcfg.Retry = link.SelectiveRepeat
+		cfg := Config{
+			Protocol:   proto,
+			Levels:     1,
+			BER:        5e-5,
+			BurstProb:  0.4,
+			Seed:       31,
+			LinkConfig: &lcfg,
+		}
+		t.Run(proto.String(), func(t *testing.T) {
+			assertFastSlowIdentical(t, cfg, 600)
+		})
+	}
+}
+
+// starSnapshot captures everything a star run can observe: per-stream
+// delivery taxonomy, per-peer link statistics, crossbar statistics, wire
+// channel accounting, and the simulated end time.
+type starSnapshot struct {
+	Delivered, OutOfOrder, Duplicates []int
+	HostStats, DevStats               []link.Stats
+	Crossbar                          switchfab.Stats
+	Channels                          []channelStats
+	End                               sim.Time
+}
+
+// runStarOnce drives a bidirectional host<->device stream per device
+// through the crossbar and snapshots the observable state.
+func runStarOnce(t *testing.T, cfg Config, n uint64) starSnapshot {
+	t.Helper()
+	s, err := NewStar(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap starSnapshot
+	checkers := map[byte]*trace.Checker{}
+	for _, d := range s.Devices() {
+		checkers[d] = trace.NewChecker()
+		s.Dev[d].Deliver = checkers[d].Deliver
+		s.Host[d].Deliver = func([]byte) {}
+	}
+	for i := uint64(0); i < n; i++ {
+		for _, d := range s.Devices() {
+			s.Host[d].Submit(trace.TagPayload(i, 16))
+			s.Dev[d].Submit(trace.TagPayload(i, 16))
+		}
+	}
+	s.Run()
+	for _, d := range s.Devices() {
+		c := checkers[d]
+		snap.Delivered = append(snap.Delivered, c.Delivered)
+		snap.OutOfOrder = append(snap.OutOfOrder, c.OutOfOrder)
+		snap.Duplicates = append(snap.Duplicates, c.Duplicates)
+		snap.HostStats = append(snap.HostStats, s.Host[d].Stats)
+		snap.DevStats = append(snap.DevStats, s.Dev[d].Stats)
+	}
+	snap.Crossbar = s.Crossbar.Stats
+	for _, w := range s.Wires {
+		if w.Channel == nil {
+			continue
+		}
+		snap.Channels = append(snap.Channels, channelStats{
+			BitsSeen:     w.Channel.BitsSeen,
+			BitsFlipped:  w.Channel.BitsFlipped,
+			ErrorEvents:  w.Channel.ErrorEvents,
+			UnitsTouched: w.Channel.UnitsTouched,
+		})
+	}
+	snap.End = s.Eng.Now()
+	return snap
+}
+
+// TestFastPathDifferentialStar extends the fast-vs-slow correctness bar to
+// the star (crossbar) topology, where Config.NoFastPath is plumbed through
+// NewStar's per-peer link configs rather than the chain builder.
+func TestFastPathDifferentialStar(t *testing.T) {
+	for _, proto := range Protocols {
+		cfg := Config{
+			Protocol:  proto,
+			BER:       1e-5,
+			BurstProb: 0.4,
+			Seed:      17,
+		}
+		t.Run(proto.String(), func(t *testing.T) {
+			fastCfg, slowCfg := cfg, cfg
+			fastCfg.NoFastPath = false
+			slowCfg.NoFastPath = true
+			fast := runStarOnce(t, fastCfg, 400)
+			slow := runStarOnce(t, slowCfg, 400)
+			if !reflect.DeepEqual(fast, slow) {
+				t.Errorf("star fast/slow diverge:\nfast: %+v\nslow: %+v", fast, slow)
+			}
+		})
+	}
+}

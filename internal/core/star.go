@@ -86,6 +86,9 @@ func NewStar(cfg Config, n int) (*Star, error) {
 			c = *cfg.LinkConfig
 			c.Protocol = cfg.Protocol
 		}
+		if cfg.NoFastPath {
+			c.FastPath = false
+		}
 		c.StampRoute = true
 		c.SrcTag = src
 		c.RouteTag = dst

@@ -19,6 +19,7 @@ package flit
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/crc"
 	"repro/internal/rs"
@@ -26,7 +27,8 @@ import (
 
 // Geometry of the 256-byte flit.
 const (
-	Size          = 256 // total wire bytes
+	Size          = 256      // total wire bytes
+	Bits          = Size * 8 // channel-unit width of one flit
 	HeaderSize    = 2
 	PayloadSize   = 240
 	CRCSize       = 8
@@ -143,10 +145,62 @@ func UnpackHeader(b [2]byte) Header {
 	}
 }
 
+// sealKind records which CRC semantics a flit's seal (deferred or
+// materialized) uses.
+type sealKind uint8
+
+const (
+	sealNone  sealKind = iota
+	sealPlain          // SealCXL: plain CRC over header+payload
+	sealISN            // SealRXL: ISN CRC with the folded sequence number
+)
+
 // Flit is a 256-byte wire flit. The zero value is a valid idle flit shell;
 // call SetHeader/Payload and Seal before transmission.
+//
+// Beyond the wire image, a flit carries error-event fast-path state that
+// never appears on the wire: a seal record (kind and ISN sequence number)
+// and a clean mark. A clean flit's image is known to be bit-identical to
+// its sealed form — no channel or switch has touched it — so every
+// integrity operation (CheckCRC, CheckCRCISN, DecodeFEC, RecomputeCRC,
+// ReencodeFEC) short-circuits to its provable outcome in O(1). Anything
+// that mutates Raw outside those methods must call Taint (after
+// Materialize if the seal is still deferred) or the clean mark lies.
 type Flit struct {
 	Raw [Size]byte
+
+	kind     sealKind
+	isnSeq   uint16
+	clean    bool // image is bit-identical to the sealed image
+	deferred bool // CRC/FEC fields not yet materialized
+	pooled   bool // obtained from Get; recyclable via Release
+}
+
+// pool recycles flit images across transmissions. The slow path allocates
+// one 256B image per flit per transmission otherwise; reuse keeps the
+// Monte-Carlo inner loop allocation-free.
+var pool = sync.Pool{New: func() interface{} { return new(Flit) }}
+
+// Get returns a zeroed flit from the package pool. Pooled flits are
+// recycled by Release at their consumption points (endpoint receive,
+// switch drops, fault-hook drops); flits allocated directly are never
+// pooled, so mixing both is safe.
+func Get() *Flit {
+	f := pool.Get().(*Flit)
+	*f = Flit{}
+	f.pooled = true
+	return f
+}
+
+// Release returns a pooled flit for reuse. It is a no-op for flits that
+// did not come from Get, so termination points may call it
+// unconditionally. The caller must not touch the flit afterwards.
+func Release(f *Flit) {
+	if f == nil || !f.pooled {
+		return
+	}
+	f.pooled = false
+	pool.Put(f)
 }
 
 // Header decodes the current header bytes.
@@ -194,8 +248,13 @@ func (f *Flit) crcInput() []byte { return f.Raw[:crcOff] }
 
 // SealCXL finalizes a baseline CXL flit: plain CRC over header+payload,
 // then FEC over the protected region. The sequence number, if any, must
-// already be present in the header FSN field.
+// already be present in the header FSN field. Eager seals leave the flit
+// unmarked, so every downstream integrity check runs byte-level — the
+// slow-path reference behavior.
 func (f *Flit) SealCXL(fec *rs.Interleaved) {
+	f.kind = sealPlain
+	f.clean = false
+	f.deferred = false
 	f.setCRCField(crc.Checksum(f.crcInput()))
 	fec.Encode(f.protected(), f.FECField())
 }
@@ -204,26 +263,95 @@ func (f *Flit) SealCXL(fec *rs.Interleaved) {
 // folded in, then FEC over the protected region. The header FSN field
 // carries only AckNum (or zero) under RXL; seq never appears on the wire.
 func (f *Flit) SealRXL(seq uint16, fec *rs.Interleaved) {
-	f.setCRCField(crc.ChecksumISN(seq, f.crcInput()))
+	f.kind = sealISN
+	f.isnSeq = seq & FSNMask
+	f.clean = false
+	f.deferred = false
+	f.setCRCField(crc.ChecksumISN(f.isnSeq, f.crcInput()))
+	fec.Encode(f.protected(), f.FECField())
+}
+
+// DeferSealCXL records plain-CRC seal semantics and marks the flit clean
+// without computing the CRC or FEC bytes: as long as the flit stays clean
+// nothing ever reads them, and Materialize produces them on demand the
+// moment a channel or fault point needs the byte-complete image.
+func (f *Flit) DeferSealCXL() {
+	f.kind = sealPlain
+	f.clean = true
+	f.deferred = true
+}
+
+// DeferSealRXL is DeferSealCXL with ISN semantics: the sequence number is
+// recorded for the deferred CRC and for O(1) clean-path ISN validation.
+func (f *Flit) DeferSealRXL(seq uint16) {
+	f.kind = sealISN
+	f.isnSeq = seq & FSNMask
+	f.clean = true
+	f.deferred = true
+}
+
+// Clean reports whether the image is known to be bit-identical to its
+// sealed form.
+func (f *Flit) Clean() bool { return f.clean }
+
+// Deferred reports whether the CRC/FEC fields still await Materialize.
+func (f *Flit) Deferred() bool { return f.deferred }
+
+// Taint clears the clean mark; call it after mutating Raw. A deferred
+// seal must be materialized first — corrupting an image whose CRC/FEC
+// bytes do not exist yet would diverge from byte-level semantics.
+func (f *Flit) Taint() {
+	if f.deferred {
+		panic("flit: Taint before Materialize")
+	}
+	f.clean = false
+}
+
+// Materialize computes the CRC and FEC fields of a deferred seal, making
+// the image byte-complete and bit-identical to an eager seal. It is a
+// no-op when the seal was never deferred.
+func (f *Flit) Materialize(fec *rs.Interleaved) {
+	if !f.deferred {
+		return
+	}
+	f.deferred = false
+	if f.kind == sealISN {
+		f.setCRCField(crc.ChecksumISN(f.isnSeq, f.crcInput()))
+	} else {
+		f.setCRCField(crc.Checksum(f.crcInput()))
+	}
 	fec.Encode(f.protected(), f.FECField())
 }
 
 // ReencodeFEC recomputes the FEC parity without touching the CRC. Switches
 // use this on egress: under RXL the end-to-end CRC passes through untouched
-// while FEC is terminated per hop (Section 6.4).
+// while FEC is terminated per hop (Section 6.4). A clean deferred flit
+// skips the encode — the parity bytes do not exist yet and stay deferred.
 func (f *Flit) ReencodeFEC(fec *rs.Interleaved) {
+	if f.clean && f.deferred {
+		return
+	}
 	fec.Encode(f.protected(), f.FECField())
 }
 
 // DecodeFEC runs the link-layer FEC decoder over the flit, correcting the
-// protected region and parity in place where possible.
+// protected region and parity in place where possible. A clean flit is a
+// valid codeword by construction, so the decode short-circuits in O(1).
 func (f *Flit) DecodeFEC(fec *rs.Interleaved) rs.Result {
+	if f.clean {
+		return rs.Result{Status: rs.StatusClean}
+	}
 	return fec.Decode(f.protected(), f.FECField())
 }
 
 // CheckCRC verifies the stored CRC against a plain checksum of
-// header+payload (baseline CXL semantics).
+// header+payload (baseline CXL semantics). Clean flits resolve in O(1):
+// the check passes exactly when the seal used plain semantics (an ISN
+// seal with sequence number zero folds nothing and is byte-identical).
 func (f *Flit) CheckCRC() bool {
+	if f.clean {
+		return f.kind == sealPlain || (f.kind == sealISN && f.isnSeq == 0)
+	}
 	return crc.Checksum(f.crcInput()) == f.CRCField()
 }
 
@@ -231,22 +359,45 @@ func (f *Flit) CheckCRC() bool {
 // with the receiver's expected sequence number. A false result means the
 // payload was corrupted, the flit is out of sequence, or both — the binary
 // verdict ISN trades reordering support for (Section 5).
+//
+// Clean flits resolve in O(1): two ISN checksums over identical data with
+// different 10-bit sequence numbers differ with certainty (the fold is a
+// 2-byte burst, which a 64-bit CRC always detects), so the byte-level
+// verdict is exactly a sequence-number comparison.
 func (f *Flit) CheckCRCISN(eseq uint16) bool {
+	if f.clean {
+		eseq &= FSNMask
+		if f.kind == sealISN {
+			return f.isnSeq == eseq
+		}
+		return eseq == 0 // a plain seal is an ISN seal with seq 0
+	}
 	return crc.ChecksumISN(eseq, f.crcInput()) == f.CRCField()
 }
 
 // RecomputeCRC rewrites the CRC over the current header+payload (plain
 // semantics). CXL switches do this on egress after terminating the
 // link-layer CRC — the step that leaves switch-internal corruption
-// unprotected in baseline CXL (Section 6.3).
+// unprotected in baseline CXL (Section 6.3). On a clean flit the rewrite
+// is equivalent to re-sealing the untouched image with plain semantics,
+// so a deferred seal just switches kind and stays deferred.
 func (f *Flit) RecomputeCRC() {
+	if f.clean && f.deferred {
+		f.kind = sealPlain
+		return
+	}
 	f.setCRCField(crc.Checksum(f.crcInput()))
+	if f.clean {
+		f.kind = sealPlain
+	}
 }
 
-// Clone returns a deep copy of the flit.
+// Clone returns a deep copy of the flit, including its fast-path seal
+// state. Clones never belong to the pool.
 func (f *Flit) Clone() *Flit {
 	g := &Flit{}
 	g.Raw = f.Raw
+	g.kind, g.isnSeq, g.clean, g.deferred = f.kind, f.isnSeq, f.clean, f.deferred
 	return g
 }
 

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/crc"
 )
 
 func TestGeometry(t *testing.T) {
@@ -306,5 +308,61 @@ func BenchmarkCheckCRCISN(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.CheckCRCISN(1)
+	}
+}
+
+// TestCleanVerdictsMatchByteLevelVerify is the verify-skip half of the
+// fast-path differential contract: every O(1) answer a clean flit gives
+// (CheckCRC, CheckCRCISN, DecodeFEC short-circuits) must agree with the
+// pure byte-level verifiers — crc.Verify, crc.VerifyISN, and the
+// syndrome-only rs Verify — run over the materialized image. It also pins
+// the negative direction: one flipped bit makes every byte-level verifier
+// reject what the clean mark would have blessed.
+func TestCleanVerdictsMatchByteLevelVerify(t *testing.T) {
+	fec := NewFEC()
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		name string
+		seq  uint16
+		isn  bool
+	}{
+		{"plain", 0, false},
+		{"isn-seq0", 0, true},
+		{"isn", 513, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := &Flit{}
+			f.SetHeader(Header{Type: TypeData})
+			rng.Read(f.Payload())
+			if tc.isn {
+				f.DeferSealRXL(tc.seq)
+			} else {
+				f.DeferSealCXL()
+			}
+			cleanCRC, cleanISN := f.CheckCRC(), f.CheckCRCISN(tc.seq)
+			f.Materialize(fec)
+
+			if got := crc.Verify(f.CRCField(), f.crcInput()); got != cleanCRC {
+				t.Errorf("plain CRC: clean verdict %v, crc.Verify %v", cleanCRC, got)
+			}
+			if got := crc.VerifyISN(f.CRCField(), tc.seq, f.crcInput()); got != cleanISN {
+				t.Errorf("ISN CRC: clean verdict %v, crc.VerifyISN %v", cleanISN, got)
+			}
+			if !fec.Verify(f.protected(), f.FECField()) {
+				t.Error("materialized clean image is not a valid RS codeword")
+			}
+			if wrong := tc.seq + 1; f.Clean() && crc.VerifyISN(f.CRCField(), wrong, f.crcInput()) {
+				t.Error("ISN verify accepted the wrong sequence number")
+			}
+
+			f.Payload()[17] ^= 0x40
+			f.Taint()
+			if crc.Verify(f.CRCField(), f.crcInput()) && crc.VerifyISN(f.CRCField(), tc.seq, f.crcInput()) {
+				t.Error("byte-level CRC verify blessed a corrupted image")
+			}
+			if fec.Verify(f.protected(), f.FECField()) {
+				t.Error("syndrome-only RS verify blessed a corrupted image")
+			}
+		})
 	}
 }

@@ -1,0 +1,49 @@
+package headq
+
+import "testing"
+
+func TestDrainedResetsToFront(t *testing.T) {
+	buf := make([]int, 10, 16)
+	got, head := Compact(buf, 10)
+	if len(got) != 0 || head != 0 || cap(got) != 16 {
+		t.Fatalf("drained: len=%d head=%d cap=%d", len(got), head, cap(got))
+	}
+}
+
+func TestSmallPrefixLeftAlone(t *testing.T) {
+	buf := []int{0, 1, 2, 3}
+	got, head := Compact(buf, 2)
+	if head != 2 || len(got) != 4 {
+		t.Fatalf("small prefix moved: len=%d head=%d", len(got), head)
+	}
+}
+
+func TestDominantPrefixCompacted(t *testing.T) {
+	buf := make([]*int, 0, 256)
+	for i := 0; i < 200; i++ {
+		v := i
+		buf = append(buf, &v)
+	}
+	got, head := Compact(buf, 150)
+	if head != 0 || len(got) != 50 {
+		t.Fatalf("compacted to len=%d head=%d", len(got), head)
+	}
+	if *got[0] != 150 || *got[49] != 199 {
+		t.Fatalf("pending elements corrupted: %d..%d", *got[0], *got[49])
+	}
+	// Vacated tail slots must drop their references.
+	tail := got[:cap(got)][len(got):150]
+	for i, p := range tail {
+		if p != nil {
+			t.Fatalf("vacated slot %d still holds a reference", i)
+		}
+	}
+}
+
+func TestBelowMinHeadNotCompacted(t *testing.T) {
+	buf := make([]int, 65)
+	got, head := Compact(buf, 64)
+	if head != 64 || len(got) != 65 {
+		t.Fatalf("head=64 should be under threshold: len=%d head=%d", len(got), head)
+	}
+}

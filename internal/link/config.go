@@ -113,6 +113,18 @@ type Config struct {
 	// backstop against lost ACK/NAK control flits.
 	RetryTimeout sim.Time
 
+	// FastPath enables the error-event fast path: outgoing flits defer
+	// their CRC/FEC computation and travel by reference with a clean
+	// mark, and every hop consults the channel's pre-drawn error schedule
+	// instead of scanning the image. Flits an error event (or fault hook,
+	// or switch-internal corruption) does touch are materialized and
+	// processed byte-level, and retransmissions always take the
+	// byte-level path, so results are bit-identical to FastPath=false for
+	// identical seeds — proven by the differential tests in
+	// internal/core. Off for zero-value Configs; DefaultConfig turns it
+	// on.
+	FastPath bool
+
 	// StampRoute, when true, writes RouteTag and SrcTag into the fabric
 	// routing bytes (flit.RouteOffset, flit.SrcRouteOffset) of every
 	// outgoing flit, including control flits. Required on crossbar/star
@@ -134,6 +146,7 @@ func DefaultConfig(p Protocol) Config {
 		ReplayBufferSize: 128,
 		AckTimeout:       200 * sim.Nanosecond,
 		RetryTimeout:     2 * sim.Microsecond,
+		FastPath:         true,
 	}
 }
 

@@ -2,8 +2,10 @@ package link
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/flit"
+	"repro/internal/headq"
 	"repro/internal/rs"
 	"repro/internal/sim"
 )
@@ -15,6 +17,11 @@ type replayEntry struct {
 	payload  [flit.PayloadSize]byte
 	lastSent sim.Time
 }
+
+// entryPool recycles replay entries; every data flit allocates one
+// otherwise, which dominates steady-state allocations once flit images
+// are pooled.
+var entryPool = sync.Pool{New: func() interface{} { return new(replayEntry) }}
 
 // Peer is one end of a duplex link-layer connection: a transmitter with a
 // go-back-N replay buffer and a receiver with sequence validation per the
@@ -35,13 +42,18 @@ type Peer struct {
 	out *Wire
 	fec *rs.Interleaved
 
+	// pumpResume is the pump wakeup callback, built once so the per-flit
+	// schedule does not allocate a closure.
+	pumpResume func()
+
 	// Transmit state. Invariant: nextSeq == ackedUpTo + len(replay);
 	// replay[i].seq == ackedUpTo + i.
 	nextSeq       uint64
 	ackedUpTo     uint64 // all sequence numbers below this are acknowledged
 	replay        []*replayEntry
-	cursor        int // next replay index to (re)transmit; == len(replay) when drained
-	sendQ         [][flit.PayloadSize]byte
+	cursor        int                      // next replay index to (re)transmit; == len(replay) when drained
+	sendQ         [][flit.PayloadSize]byte // pending payloads from sendHead on
+	sendHead      int                      // consumed prefix of sendQ; array reused once drained
 	pumpScheduled bool
 	timerArmed    bool
 	nakToSend     bool
@@ -74,6 +86,12 @@ type Peer struct {
 func NewPeer(name string, eng *sim.Engine, cfg Config) *Peer {
 	cfg.sanitize()
 	p := &Peer{Name: name, Eng: eng, Cfg: cfg, fec: flit.NewFEC()}
+	p.pumpResume = func() {
+		p.pumpScheduled = false
+		if p.transmitOne() {
+			p.pump()
+		}
+	}
 	if cfg.Retry == SelectiveRepeat {
 		p.reorder = make(map[uint64]*[flit.PayloadSize]byte)
 	}
@@ -91,12 +109,13 @@ func (p *Peer) Submit(payload []byte) {
 	}
 	var buf [flit.PayloadSize]byte
 	copy(buf[:], payload)
+	p.sendQ, p.sendHead = headq.Compact(p.sendQ, p.sendHead)
 	p.sendQ = append(p.sendQ, buf)
 	p.pump()
 }
 
 // Queued returns the number of payloads waiting behind the replay window.
-func (p *Peer) Queued() int { return len(p.sendQ) }
+func (p *Peer) Queued() int { return len(p.sendQ) - p.sendHead }
 
 // Outstanding returns the number of sent-but-unacknowledged flits.
 func (p *Peer) Outstanding() int { return len(p.replay) }
@@ -112,7 +131,7 @@ func (p *Peer) ExpectedSeq() uint64 { return p.eseq }
 func (p *Peer) hasWork() bool {
 	return p.nakToSend || p.srNakToSend || p.ackToSend ||
 		len(p.srQueue) > 0 || p.cursor < len(p.replay) ||
-		(len(p.sendQ) > 0 && len(p.replay) < p.Cfg.ReplayBufferSize)
+		(p.sendHead < len(p.sendQ) && len(p.replay) < p.Cfg.ReplayBufferSize)
 }
 
 // pump schedules the next transmission at the moment the wire frees up.
@@ -122,12 +141,7 @@ func (p *Peer) pump() {
 		return
 	}
 	p.pumpScheduled = true
-	p.Eng.At(p.out.FreeAt(), func() {
-		p.pumpScheduled = false
-		if p.transmitOne() {
-			p.pump()
-		}
-	})
+	p.Eng.At(p.out.FreeAt(), p.pumpResume)
 }
 
 // transmitOne sends the highest-priority pending item: NAK, then replay,
@@ -168,10 +182,11 @@ func (p *Peer) transmitOne() bool {
 		p.Stats.AckFlitsSent++
 		return true
 
-	case len(p.sendQ) > 0 && len(p.replay) < p.Cfg.ReplayBufferSize:
-		e := &replayEntry{seq: p.nextSeq}
-		e.payload = p.sendQ[0]
-		p.sendQ = p.sendQ[1:]
+	case p.sendHead < len(p.sendQ) && len(p.replay) < p.Cfg.ReplayBufferSize:
+		e := entryPool.Get().(*replayEntry)
+		e.seq, e.lastSent = p.nextSeq, 0
+		e.payload = p.sendQ[p.sendHead]
+		p.sendHead++
 		p.nextSeq++
 		p.replay = append(p.replay, e)
 		p.cursor = len(p.replay)
@@ -186,10 +201,14 @@ func (p *Peer) transmitOne() bool {
 // sit outside the sequence stream and always use a plain CRC; their loss is
 // recovered by the retransmission and ACK timers.
 func (p *Peer) sendControl(_ flit.Type, h flit.Header) {
-	f := &flit.Flit{}
+	f := flit.Get()
 	f.SetHeader(h)
 	p.stampRoute(f)
-	f.SealCXL(p.fec)
+	if p.Cfg.FastPath {
+		f.DeferSealCXL()
+	} else {
+		f.SealCXL(p.fec)
+	}
 	p.Stats.FlitsSent++
 	p.out.Send(f)
 }
@@ -208,9 +227,14 @@ func (p *Peer) stampRoute(f *flit.Flit) {
 // applying the protocol's header/CRC semantics and consuming a pending
 // piggyback acknowledgment if the protocol allows one.
 func (p *Peer) sendData(e *replayEntry, isRetransmit bool) {
-	f := &flit.Flit{}
+	f := flit.Get()
 	copy(f.Payload(), e.payload[:])
 	p.stampRoute(f)
+
+	// Retransmissions always take the byte-level slow path: they are rare
+	// by construction (one per error event) and sit on the protocol's
+	// recovery edge, where the reference semantics must hold unmodified.
+	fast := p.Cfg.FastPath && !isRetransmit
 
 	h := flit.Header{Type: flit.TypeData, Cmd: flit.CmdSeq}
 	// Selective-repeat retransmissions always carry their explicit FSN:
@@ -230,7 +254,11 @@ func (p *Peer) sendData(e *replayEntry, isRetransmit bool) {
 		// FSN carries only the AckNum (or zero); the sequence number
 		// travels inside the CRC.
 		f.SetHeader(h)
-		f.SealRXL(wireSeq(e.seq), p.fec)
+		if fast {
+			f.DeferSealRXL(wireSeq(e.seq))
+		} else {
+			f.SealRXL(wireSeq(e.seq), p.fec)
+		}
 	default:
 		// Baseline CXL: FSN is the explicit sequence number unless this
 		// flit was chosen to carry the AckNum — the blind spot.
@@ -238,7 +266,11 @@ func (p *Peer) sendData(e *replayEntry, isRetransmit bool) {
 			h.FSN = wireSeq(e.seq)
 		}
 		f.SetHeader(h)
-		f.SealCXL(p.fec)
+		if fast {
+			f.DeferSealCXL()
+		} else {
+			f.SealCXL(p.fec)
+		}
 	}
 
 	if isRetransmit {
@@ -283,7 +315,18 @@ func (p *Peer) armRetryTimer() {
 }
 
 // Receive processes a flit arriving from the wire (after any switches).
+// The peer is the flit's terminal consumer: pooled flits are recycled when
+// processing completes (payloads handed to Deliver alias the image and
+// must be copied if retained, per the Deliver contract).
 func (p *Peer) Receive(f *flit.Flit) {
+	p.receive(f)
+	flit.Release(f)
+}
+
+// receive is the Receive body. On a clean flit every integrity operation
+// below — FEC decode, CRC / ISN check — short-circuits in O(1) inside the
+// flit layer, so the clean path runs no byte-level work at all.
+func (p *Peer) receive(f *flit.Flit) {
 	p.Stats.FlitsReceived++
 
 	res := f.DecodeFEC(p.fec)
@@ -519,10 +562,12 @@ func (p *Peer) onNak(fsn uint16) {
 	p.pump()
 }
 
-// popAcked discards replay entries with sequence numbers below watermark.
+// popAcked discards replay entries with sequence numbers below watermark,
+// returning them to the pool.
 func (p *Peer) popAcked(watermark uint64) {
 	n := 0
 	for n < len(p.replay) && p.replay[n].seq < watermark {
+		entryPool.Put(p.replay[n])
 		n++
 	}
 	if n == 0 {

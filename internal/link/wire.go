@@ -3,12 +3,20 @@ package link
 import (
 	"repro/internal/flit"
 	"repro/internal/phy"
+	"repro/internal/rs"
 	"repro/internal/sim"
 )
 
 // Wire is a unidirectional flit conduit: a sim.Pipe with an optional
 // bit-error channel applied in flight and an optional scripted fault hook
 // used by the deterministic failure-scenario experiments (Figs. 4–5).
+//
+// The wire is where the error-event fast path forks: a clean flit whose
+// hop channel schedules no error event within the next 2048 bits passes
+// by reference — the channel advances in O(1), no image byte is read or
+// written. Any flit the schedule does touch is first materialized (its
+// deferred CRC/FEC computed) so the byte-level corruption, and everything
+// downstream of it, is bit-identical to the always-slow reference.
 type Wire struct {
 	pipe *sim.Pipe
 
@@ -18,11 +26,18 @@ type Wire struct {
 
 	// FaultHook, when non-nil, inspects each (possibly corrupted) flit at
 	// arrival; returning true drops the flit silently — the scripted
-	// equivalent of a switch discarding an uncorrectable flit.
+	// equivalent of a switch discarding an uncorrectable flit. Hooked
+	// wires force every flit onto the byte-level path: the hook may
+	// mutate the image, so the clean mark cannot be trusted past it.
 	FaultHook func(*flit.Flit) bool
 
 	// HookDropped counts flits dropped by FaultHook.
 	HookDropped uint64
+
+	// fec materializes deferred seals when the channel or a fault hook
+	// needs the byte-complete image; built lazily since clean traffic on
+	// an error-free wire never needs it.
+	fec *rs.Interleaved
 }
 
 // NewWire builds a wire delivering flits to deliver after serialization and
@@ -37,16 +52,42 @@ func NewWire(eng *sim.Engine, ser, prop sim.Time, deliver func(*flit.Flit)) *Wir
 		Sink: func(x interface{}) {
 			f := x.(*flit.Flit)
 			if w.Channel != nil {
-				w.Channel.Corrupt(f.Raw[:])
+				if f.Clean() && w.Channel.NextEvent() >= flit.Bits {
+					// Fast path: the schedule proves this flit crosses
+					// untouched. Account the bits and move on.
+					w.Channel.Advance(flit.Bits)
+				} else {
+					w.materialize(f)
+					if w.Channel.Corrupt(f.Raw[:]) > 0 {
+						f.Taint()
+					}
+				}
 			}
-			if w.FaultHook != nil && w.FaultHook(f) {
-				w.HookDropped++
-				return
+			if w.FaultHook != nil {
+				w.materialize(f)
+				f.Taint()
+				if w.FaultHook(f) {
+					w.HookDropped++
+					flit.Release(f)
+					return
+				}
 			}
 			deliver(f)
 		},
 	}
 	return w
+}
+
+// materialize computes a deferred seal so byte-level processing sees the
+// complete image. No-op for eagerly sealed flits.
+func (w *Wire) materialize(f *flit.Flit) {
+	if !f.Deferred() {
+		return
+	}
+	if w.fec == nil {
+		w.fec = flit.NewFEC()
+	}
+	f.Materialize(w.fec)
 }
 
 // Send transmits a flit. The caller relinquishes ownership: the flit may be

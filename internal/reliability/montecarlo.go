@@ -59,6 +59,47 @@ func MeasureFER(ber float64, flits int, seed uint64) FERSample {
 	}
 }
 
+// MeasureFERSchedule is MeasureFER on the error-event schedule: instead of
+// zeroing and corrupting a flit image per trial, it walks the channel's
+// pre-drawn error schedule with phy.Channel.Traverse, so clean flits cost
+// O(1) with zero RNG draws. The channel consumes exactly the random
+// stream MeasureFER would, so identical seeds give identical samples —
+// proven by TestMeasureFERScheduleMatchesByteLevel — at one-to-two orders
+// of magnitude higher trial throughput at production BERs (Fig. 8 tails).
+func MeasureFERSchedule(ber float64, flits int, seed uint64) FERSample {
+	if flits <= 0 {
+		panic("reliability: MeasureFERSchedule needs at least one flit")
+	}
+	p := DefaultParams()
+	p.BER = ber
+	ch := phy.NewChannel(ber, 0, phy.NewRNG(seed))
+	bad := 0
+	for i := 0; i < flits; {
+		// Bulk-advance the whole clean span in one O(1) step: at BER 1e-6
+		// that is ~500 flits per error event, so the loop body runs per
+		// event, not per flit. Advance draws no RNG and accounts the same
+		// BitsSeen total the per-flit walk would.
+		if clean := ch.NextEvent() / FlitBits; clean > 0 {
+			if clean > flits-i {
+				clean = flits - i
+			}
+			ch.Advance(clean * FlitBits)
+			i += clean
+			continue
+		}
+		if ch.Traverse(FlitBits) > 0 {
+			bad++
+		}
+		i++
+	}
+	return FERSample{
+		Flits:     flits,
+		Erroneous: bad,
+		FER:       float64(bad) / float64(flits),
+		Analytic:  p.FER(),
+	}
+}
+
 // FECOutcome classifies decode results of error-injected flits.
 type FECOutcome struct {
 	Trials       int

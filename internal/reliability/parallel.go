@@ -24,6 +24,9 @@ const DefaultShards = 64
 // The flit budget is partitioned with runner.Split and each shard pushes
 // its quota through a channel seeded from the pool's base seed and the
 // shard index. The merged sample is bit-identical at any worker count.
+// Shards run on the error-event schedule (MeasureFERSchedule), which
+// produces bit-identical samples to the byte-level loop at a fraction of
+// the cost — see BenchmarkMCInnerLoopFastPath.
 func MeasureFERSharded(ctx context.Context, pool runner.Pool, ber float64, flits, shards int) (FERSample, error) {
 	if flits <= 0 || shards <= 0 {
 		return FERSample{}, fmt.Errorf("reliability: MeasureFERSharded needs positive flits (%d) and shards (%d)", flits, shards)
@@ -33,7 +36,7 @@ func MeasureFERSharded(ctx context.Context, pool runner.Pool, ber float64, flits
 		if quota[s.Index] == 0 {
 			return FERSample{}, nil
 		}
-		return MeasureFER(ber, quota[s.Index], s.Seed), nil
+		return MeasureFERSchedule(ber, quota[s.Index], s.Seed), nil
 	})
 	if err != nil {
 		return FERSample{}, err
@@ -109,7 +112,7 @@ func MCBERSweep(ctx context.Context, pool runner.Pool, bers []float64, flitsPerP
 		if q == 0 {
 			return FERSample{}, nil
 		}
-		return MeasureFER(ber, q, s.Seed), nil
+		return MeasureFERSchedule(ber, q, s.Seed), nil
 	})
 	if err != nil {
 		return nil, err

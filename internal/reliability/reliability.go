@@ -22,6 +22,8 @@ package reliability
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/flit"
 )
 
 // Paper-fixed constants (Section 7.1).
@@ -30,7 +32,7 @@ const (
 	DefaultBER = 1e-6
 
 	// FlitBits is the size of a 256B flit in bits.
-	FlitBits = 256 * 8
+	FlitBits = flit.Bits
 
 	// DefaultFERUC is the uncorrectable flit error rate after FEC. The
 	// PCIe 6.0 standard sets this upper bound (Eq. 2).

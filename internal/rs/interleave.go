@@ -27,6 +27,7 @@ type Interleaved struct {
 	// concurrent use. Clone per goroutine.
 	deint  [][]byte
 	parity [][]byte
+	synd   []byte
 }
 
 // NewInterleaved builds a ways-way interleaved bank protecting total data
@@ -52,6 +53,7 @@ func NewInterleaved(total, ways, nparity int) (*Interleaved, error) {
 		il.deint = append(il.deint, make([]byte, k))
 		il.parity = append(il.parity, make([]byte, nparity))
 	}
+	il.synd = make([]byte, nparity)
 	// Continue the data region's round-robin through the parity field so a
 	// burst crossing the boundary still spreads across sub-blocks. Any run
 	// of ways*nparity consecutive positions hits each residue class
@@ -86,6 +88,7 @@ func (il *Interleaved) Clone() *Interleaved {
 		c.deint = append(c.deint, make([]byte, il.codes[w].DataLen()))
 		c.parity = append(c.parity, make([]byte, il.nparity))
 	}
+	c.synd = make([]byte, il.nparity)
 	return c
 }
 
@@ -156,7 +159,7 @@ func (il *Interleaved) Decode(data, parity []byte) Result {
 	}
 	total := Result{Status: StatusClean}
 	for w, c := range il.codes {
-		res := c.Decode(il.deint[w], il.parity[w])
+		res := c.DecodeScratch(il.deint[w], il.parity[w], il.synd)
 		switch res.Status {
 		case StatusUncorrectable:
 			return Result{Status: StatusUncorrectable}
@@ -172,6 +175,24 @@ func (il *Interleaved) Decode(data, parity []byte) Result {
 		}
 	}
 	return total
+}
+
+// Verify reports whether data||parity is a valid interleaved codeword via
+// syndromes only — no correction attempt, no mutation. See Code.Verify.
+func (il *Interleaved) Verify(data, parity []byte) bool {
+	if len(data) != il.total || len(parity) != il.ParityLen() {
+		panic("rs: interleaved Verify length mismatch")
+	}
+	il.deinterleave(data)
+	for x := range parity {
+		il.parity[il.parityWay[x]][il.parityIdx[x]] = parity[x]
+	}
+	for w, c := range il.codes {
+		if !c.Verify(il.deint[w], il.parity[w]) {
+			return false
+		}
+	}
+	return true
 }
 
 // VacantFraction returns the fraction of the mother-code position space that

@@ -167,10 +167,17 @@ func (c *Code) syndromes(data, parity []byte, synd []byte) bool {
 // zero-padded vacant positions and is reported as uncorrectable rather than
 // "corrected" (Section 2.5).
 func (c *Code) Decode(data, parity []byte) Result {
+	synd := make([]byte, c.nparity)
+	return c.DecodeScratch(data, parity, synd)
+}
+
+// DecodeScratch is Decode with a caller-provided syndrome scratch buffer
+// (length >= nparity), so repeated decodes stay allocation-free.
+func (c *Code) DecodeScratch(data, parity, synd []byte) Result {
 	if len(data) != c.k || len(parity) != c.nparity {
 		panic("rs: Decode length mismatch")
 	}
-	synd := make([]byte, c.nparity)
+	synd = synd[:c.nparity]
 	if c.syndromes(data, parity, synd) {
 		return Result{Status: StatusClean}
 	}
@@ -178,6 +185,23 @@ func (c *Code) Decode(data, parity []byte) Result {
 		return c.decodeSingle(data, parity, synd)
 	}
 	return c.decodeBM(data, parity, synd)
+}
+
+// Verify reports whether data||parity is a valid codeword, via syndromes
+// only: no locator search, no correction, no mutation. It is the cheapest
+// byte-level integrity answer the code can give — the slow-path
+// counterpart of the clean-mark skip, and the tool differential tests use
+// to prove a claimed-clean image really is a codeword.
+func (c *Code) Verify(data, parity []byte) bool {
+	if len(data) != c.k || len(parity) != c.nparity {
+		panic("rs: Verify length mismatch")
+	}
+	var buf [8]byte
+	synd := buf[:]
+	if c.nparity > len(buf) {
+		synd = make([]byte, c.nparity)
+	}
+	return c.syndromes(data, parity, synd[:c.nparity])
 }
 
 // decodeSingle is the fast path for the 2-parity single-symbol-correct codes

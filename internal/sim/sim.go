@@ -10,7 +10,7 @@
 // per second of wall time, ample for every experiment in the paper.
 package sim
 
-import "container/heap"
+import "repro/internal/headq"
 
 // Time is a simulation timestamp in picoseconds.
 type Time int64
@@ -33,32 +33,90 @@ type event struct {
 	at  Time
 	seq uint64 // tie-break: schedule order
 	fn  func()
+	// Payload form: when fn is nil, sink(arg) runs instead. Senders with a
+	// long-lived sink function (pipes) use this to avoid a closure
+	// allocation per scheduled delivery.
+	sink func(interface{})
+	arg  interface{}
 }
 
+func (ev *event) dispatch() {
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	ev.sink(ev.arg)
+}
+
+// before reports the strict (at, seq) ordering between events.
+func (ev *event) before(o *event) bool {
+	if ev.at != o.at {
+		return ev.at < o.at
+	}
+	return ev.seq < o.seq
+}
+
+// eventHeap is a hand-rolled binary min-heap on (at, seq). container/heap
+// would box every event through interface{} on Push/Pop — one allocation
+// per scheduled event — so the sift operations are written out instead.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].before(&q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release references for GC
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && q[r].before(&q[child]) {
+			child = r
+		}
+		if !q[child].before(&q[i]) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	return top
 }
 
 // Engine is a discrete-event scheduler. The zero value is not usable; call
 // NewEngine.
+//
+// The queue is a two-lane structure tuned for the simulator's dominant
+// pattern — long stretches of monotonically increasing schedule times
+// (every flit delivery and pump wakeup lands at or after the previously
+// scheduled tail). Monotone events append to a FIFO ring and dispatch in
+// O(1); out-of-order schedules (timer backstops, scripted scenario events)
+// fall back to a binary heap. Dispatch merges the two lanes under the
+// strict (time, schedule-order) total order, so the hybrid is
+// observationally identical to a single priority queue.
 type Engine struct {
 	now     Time
-	events  eventHeap
+	events  eventHeap // out-of-order lane
+	fifo    []event   // monotone lane: times non-decreasing from fifoHead
+	fifoPos int       // index of the monotone lane's head
 	seq     uint64
 	stopped bool
 	// Executed counts dispatched events, a cheap progress metric.
@@ -82,13 +140,38 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 	e.At(e.now+delay, fn)
 }
 
+// ScheduleArg is Schedule for a long-lived sink function and a payload,
+// avoiding the per-event closure allocation.
+func (e *Engine) ScheduleArg(delay Time, sink func(interface{}), arg interface{}) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	e.AtArg(e.now+delay, sink, arg)
+}
+
 // At runs fn at absolute time t (>= Now).
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
+	e.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// AtArg runs sink(arg) at absolute time t (>= Now). Pipes use this form on
+// the per-flit delivery path: sink is one stable function per pipe, so no
+// closure is allocated per send.
+func (e *Engine) AtArg(t Time, sink func(interface{}), arg interface{}) {
+	e.push(event{at: t, seq: e.seq, sink: sink, arg: arg})
+}
+
+func (e *Engine) push(ev event) {
+	if ev.at < e.now {
 		panic("sim: scheduling into the past")
 	}
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
 	e.seq++
+	e.fifo, e.fifoPos = headq.Compact(e.fifo, e.fifoPos)
+	if len(e.fifo) == 0 || ev.at >= e.fifo[len(e.fifo)-1].at {
+		e.fifo = append(e.fifo, ev)
+		return
+	}
+	e.events.push(ev)
 }
 
 // Stop makes the current Run/RunUntil call return after the in-flight event
@@ -98,7 +181,7 @@ func (e *Engine) Stop() { e.stopped = true }
 // Run dispatches events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
+	for e.Pending() > 0 && !e.stopped {
 		e.step()
 	}
 }
@@ -107,7 +190,11 @@ func (e *Engine) Run() {
 // to exactly t. Events scheduled at t are executed.
 func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped && e.events[0].at <= t {
+	for !e.stopped {
+		ev := e.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
 		e.step()
 	}
 	if !e.stopped && e.now < t {
@@ -115,15 +202,44 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
+// peek returns the next event in (time, schedule-order) without removing
+// it, or nil when both lanes are empty.
+func (e *Engine) peek() *event {
+	var f, h *event
+	if e.fifoPos < len(e.fifo) {
+		f = &e.fifo[e.fifoPos]
+	}
+	if len(e.events) > 0 {
+		h = &e.events[0]
+	}
+	switch {
+	case f == nil:
+		return h
+	case h == nil:
+		return f
+	case f.before(h):
+		return f
+	default:
+		return h
+	}
+}
+
 func (e *Engine) step() {
-	ev := heap.Pop(&e.events).(event)
+	var ev event
+	if next := e.peek(); e.fifoPos < len(e.fifo) && next == &e.fifo[e.fifoPos] {
+		ev = *next
+		e.fifo[e.fifoPos] = event{} // release references for GC
+		e.fifoPos++
+	} else {
+		ev = e.events.pop()
+	}
 	e.now = ev.at
 	e.Executed++
-	ev.fn()
+	ev.dispatch()
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.events) + len(e.fifo) - e.fifoPos }
 
 // Pipe models a unidirectional wire: each Send occupies the wire for
 // SerializationDelay (back-to-back sends queue behind each other, FIFO) and
@@ -156,10 +272,7 @@ func (p *Pipe) Send(payload interface{}) Time {
 	p.busyUntil = end
 	p.BusyTime += p.SerializationDelay
 	p.Sent++
-	arrival := end + p.PropagationDelay
-	sink := p.Sink
-	pl := payload
-	p.Engine.At(arrival, func() { sink(pl) })
+	p.Engine.AtArg(end+p.PropagationDelay, p.Sink, payload)
 	return end
 }
 

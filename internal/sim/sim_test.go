@@ -256,3 +256,36 @@ func BenchmarkPipeSend(b *testing.B) {
 	}
 	e.Run()
 }
+
+// TestFIFOLaneCompaction drives two interleaved self-perpetuating event
+// chains so the monotone lane never fully drains: at every push another
+// monotone event is still pending, the drained-reset in push never fires,
+// and before compaction the lane grew by one slot per dispatched event.
+// The backing array must stay O(pending), not O(total events dispatched).
+func TestFIFOLaneCompaction(t *testing.T) {
+	e := NewEngine()
+	const total = 100000
+	var ran [2]int
+	var chain [2]func()
+	for i := range chain {
+		i := i
+		chain[i] = func() {
+			ran[i]++
+			if ran[i] < total/2 {
+				e.Schedule(1, chain[i])
+			}
+		}
+	}
+	e.Schedule(0, chain[0])
+	e.Schedule(0, chain[1])
+	e.Run()
+	if ran[0] != total/2 || ran[1] != total/2 {
+		t.Fatalf("chains ran %v, want %d each", ran, total/2)
+	}
+	if e.Executed != total {
+		t.Fatalf("executed %d, want %d", e.Executed, total)
+	}
+	if c := cap(e.fifo); c > 1024 {
+		t.Fatalf("fifo backing array grew to %d slots for %d events; dispatched prefix not reclaimed", c, total)
+	}
+}

@@ -149,17 +149,27 @@ func (x *Crossbar) SetRoute(dest byte, egress *link.Wire) { x.routes[dest] = egr
 // are dropped silently — a misrouted flit simply vanishes, exactly the
 // hazard the paper cites for forwarding erroneous flits.
 func (x *Crossbar) Ingress() func(*flit.Flit) {
+	// One stable forwarding sink for the latency path, so the per-flit
+	// schedule carries only the flit instead of allocating a closure.
+	// Routes are static after construction, so re-resolving the egress at
+	// dispatch time sees exactly the wire the ingress check saw.
+	fwd := func(p interface{}) {
+		f := p.(*flit.Flit)
+		x.forward(f, x.routes[f.Payload()[flit.RouteOffset]])
+	}
 	return func(f *flit.Flit) {
 		if !x.process(f) {
+			flit.Release(f)
 			return
 		}
 		egress, ok := x.routes[f.Payload()[flit.RouteOffset]]
 		if !ok {
 			x.Stats.DroppedNoRoute++
+			flit.Release(f)
 			return
 		}
 		if x.Latency > 0 {
-			x.Eng.Schedule(x.Latency, func() { x.forward(f, egress) })
+			x.Eng.ScheduleArg(x.Latency, fwd, f)
 		} else {
 			x.forward(f, egress)
 		}

@@ -177,34 +177,41 @@ func (m *Mesh) InterRouterWire(x1, y1, x2, y2 int) *link.Wire {
 // switch pipeline, then forward by XY dimension-ordered routing.
 func (m *Mesh) routerIngress(x, y int) func(*flit.Flit) {
 	r := m.Routers[x][y]
-	return func(f *flit.Flit) {
-		if !r.process(f) {
-			return
-		}
-		forward := func() {
-			dx, dy, ok := m.nodeXY(f.Payload()[flit.RouteOffset])
-			switch {
-			case !ok:
-				r.Stats.DroppedNoRoute++
-			case dx > x:
-				m.forwardTo(r, f, m.out[x][y][dirEast])
-			case dx < x:
-				m.forwardTo(r, f, m.out[x][y][dirWest])
-			case dy > y:
-				m.forwardTo(r, f, m.out[x][y][dirSouth])
-			case dy < y:
-				m.forwardTo(r, f, m.out[x][y][dirNorth])
-			default:
-				r.Stats.Forwarded++
-				if m.locals[x][y] != nil {
-					m.locals[x][y](f)
-				}
+	// One stable forwarding sink per router, so the per-flit latency
+	// schedule carries only the flit instead of allocating a closure.
+	forward := func(p interface{}) {
+		f := p.(*flit.Flit)
+		dx, dy, ok := m.nodeXY(f.Payload()[flit.RouteOffset])
+		switch {
+		case !ok:
+			r.Stats.DroppedNoRoute++
+			flit.Release(f)
+		case dx > x:
+			m.forwardTo(r, f, m.out[x][y][dirEast])
+		case dx < x:
+			m.forwardTo(r, f, m.out[x][y][dirWest])
+		case dy > y:
+			m.forwardTo(r, f, m.out[x][y][dirSouth])
+		case dy < y:
+			m.forwardTo(r, f, m.out[x][y][dirNorth])
+		default:
+			r.Stats.Forwarded++
+			if m.locals[x][y] != nil {
+				m.locals[x][y](f)
+			} else {
+				flit.Release(f)
 			}
 		}
+	}
+	return func(f *flit.Flit) {
+		if !r.process(f) {
+			flit.Release(f)
+			return
+		}
 		if r.Latency > 0 {
-			m.Eng.Schedule(r.Latency, forward)
+			m.Eng.ScheduleArg(r.Latency, forward, f)
 		} else {
-			forward()
+			forward(f)
 		}
 	}
 }
@@ -212,6 +219,7 @@ func (m *Mesh) routerIngress(x, y int) func(*flit.Flit) {
 func (m *Mesh) forwardTo(r *Switch, f *flit.Flit, w *link.Wire) {
 	if w == nil {
 		r.Stats.DroppedNoRoute++
+		flit.Release(f)
 		return
 	}
 	r.Stats.Forwarded++

@@ -106,12 +106,16 @@ func (s *Switch) SeedInternalFaults(prob float64, rng *phy.RNG) {
 // processed flits onto egress. Use it as the deliver callback of the
 // ingress wire.
 func (s *Switch) Pipeline(egress *link.Wire) func(*flit.Flit) {
+	// One forwarding thunk per direction, so the per-flit latency
+	// schedule carries only the flit as payload instead of a closure.
+	fwd := func(x interface{}) { s.forward(x.(*flit.Flit), egress) }
 	return func(f *flit.Flit) {
 		if !s.process(f) {
+			flit.Release(f)
 			return
 		}
 		if s.Latency > 0 {
-			s.Eng.Schedule(s.Latency, func() { s.forward(f, egress) })
+			s.Eng.ScheduleArg(s.Latency, fwd, f)
 		} else {
 			s.forward(f, egress)
 		}
@@ -125,6 +129,11 @@ func (s *Switch) forward(f *flit.Flit, egress *link.Wire) {
 
 // process runs the ingress/egress pipeline on f in place. It returns false
 // if the flit was discarded.
+//
+// Clean flits cross in O(1): the FEC decode and CRC check below
+// short-circuit inside the flit layer, only the internal fault point draws
+// (so the RNG stream matches the byte-level reference), and the egress
+// regeneration resolves to a no-op on an image that never changed.
 func (s *Switch) process(f *flit.Flit) bool {
 	s.Stats.FlitsIn++
 
@@ -148,13 +157,21 @@ func (s *Switch) process(f *flit.Flit) bool {
 	}
 
 	// Internal fault point: datapath/buffer corruption inside the switch.
+	// A deferred seal is materialized before the image mutates, so the
+	// corruption lands on the byte-exact sealed image.
 	corrupted := false
-	if s.InternalHook != nil && s.InternalHook(f) {
-		corrupted = true
+	if s.InternalHook != nil {
+		f.Materialize(s.fec)
+		f.Taint()
+		if s.InternalHook(f) {
+			corrupted = true
+		}
 	}
 	if s.InternalBitFlipProb > 0 && s.rng != nil && s.rng.Float64() < s.InternalBitFlipProb {
 		bit := s.rng.Intn((flit.HeaderSize + flit.PayloadSize) * 8)
+		f.Materialize(s.fec)
 		f.Raw[bit/8] ^= 1 << (7 - bit%8)
+		f.Taint()
 		corrupted = true
 	}
 	if corrupted {

@@ -72,6 +72,10 @@ type Config = core.Config
 // coalescing, timeouts).
 type LinkConfig = link.Config
 
+// LinkStats is the per-peer statistics block exposed by Peer.Stats —
+// transmit/receive counters, FEC corrections, CRC errors, retries.
+type LinkStats = link.Stats
+
 // DefaultLinkConfig returns the link parameters used by the paper's
 // analysis (p_coalescing = 0.1, 128-flit replay window).
 func DefaultLinkConfig(p Protocol) LinkConfig { return link.DefaultConfig(p) }
@@ -177,8 +181,9 @@ type NoC struct {
 	// Mesh exposes the routers and wires for fault injection.
 	Mesh *switchfab.Mesh
 
-	proto Protocol
-	nodes map[[2]int]*MeshNode
+	proto      Protocol
+	noFastPath bool
+	nodes      map[[2]int]*MeshNode
 }
 
 // NewNoC builds a w×h mesh NoC. The Config supplies protocol, BER/burst,
@@ -197,10 +202,11 @@ func NewNoC(w, h int, cfg Config) (*NoC, error) {
 	mc.BurstProb = cfg.BurstProb
 	mc.Seed = cfg.Seed
 	return &NoC{
-		Eng:   eng,
-		Mesh:  switchfab.NewMesh(eng, w, h, mc),
-		proto: cfg.Protocol,
-		nodes: make(map[[2]int]*MeshNode),
+		Eng:        eng,
+		Mesh:       switchfab.NewMesh(eng, w, h, mc),
+		proto:      cfg.Protocol,
+		noFastPath: cfg.NoFastPath,
+		nodes:      make(map[[2]int]*MeshNode),
 	}, nil
 }
 
@@ -211,7 +217,11 @@ func (n *NoC) Node(x, y int) *MeshNode {
 	if nd, ok := n.nodes[key]; ok {
 		return nd
 	}
-	nd := switchfab.NewMeshNode(n.Mesh, x, y, link.DefaultConfig(n.proto))
+	lcfg := link.DefaultConfig(n.proto)
+	if n.noFastPath {
+		lcfg.FastPath = false
+	}
+	nd := switchfab.NewMeshNode(n.Mesh, x, y, lcfg)
 	n.nodes[key] = nd
 	return nd
 }

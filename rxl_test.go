@@ -153,3 +153,45 @@ func TestDefaultLinkConfigOverride(t *testing.T) {
 		t.Fatalf("custom link config broke delivery: %+v", res.Failures)
 	}
 }
+
+// runNoCOnce drives one corner-to-corner stream across a 3x3 mesh and
+// returns the observable outcome: delivery count, both endpoints' link
+// statistics, router totals, and the simulated end time.
+func runNoCOnce(t *testing.T, cfg rxl.Config, n int) (int, [2]rxl.LinkStats, interface{}, rxl.Time) {
+	t.Helper()
+	noc, err := rxl.NewNoC(3, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := noc.Node(0, 0)
+	dst := noc.Node(2, 2)
+	tx := src.PeerTo(dst.ID)
+	rx := dst.PeerTo(src.ID)
+	delivered := 0
+	rx.Deliver = func([]byte) { delivered++ }
+	payload := make([]byte, 16)
+	for i := 0; i < n; i++ {
+		tx.Submit(payload)
+	}
+	noc.Run()
+	return delivered, [2]rxl.LinkStats{tx.Stats, rx.Stats}, noc.Mesh.TotalStats(), noc.Eng.Now()
+}
+
+// TestNoCFastPathDifferential pins Config.NoFastPath on the mesh NoC: the
+// byte-level reference path and the error-event fast path must agree on
+// delivery, link statistics, router totals, and timing for the same seed.
+func TestNoCFastPathDifferential(t *testing.T) {
+	for _, proto := range []rxl.Protocol{rxl.CXL, rxl.RXL} {
+		t.Run(proto.String(), func(t *testing.T) {
+			cfg := rxl.Config{Protocol: proto, BER: 1e-5, BurstProb: 0.4, Seed: 4}
+			slow := cfg
+			slow.NoFastPath = true
+			fd, fs, fm, ft := runNoCOnce(t, cfg, 500)
+			sd, ss, sm, st := runNoCOnce(t, slow, 500)
+			if fd != sd || ft != st || !reflect.DeepEqual(fs, ss) || !reflect.DeepEqual(fm, sm) {
+				t.Errorf("NoC fast/slow diverge:\nfast: d=%d t=%d %+v %+v\nslow: d=%d t=%d %+v %+v",
+					fd, ft, fs, fm, sd, st, ss, sm)
+			}
+		})
+	}
+}
