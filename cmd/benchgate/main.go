@@ -1,0 +1,210 @@
+// Command benchgate is the CI benchmark-regression gate: it compares two
+// Go benchmark output files (baseline vs current, as produced by
+// `go test -bench`) and exits non-zero when the geometric mean of the
+// per-benchmark time ratios regresses past a threshold.
+//
+// benchstat renders the human-readable comparison in the same CI job;
+// benchgate exists so the *gate* parses the stable `BenchmarkX ... N
+// ns/op` line format rather than benchstat's display tables. Multiple
+// `-count` repetitions of a benchmark are averaged; benchmarks present
+// on only one side are reported and skipped.
+//
+// Because hosted CI runners are a heterogeneous fleet, absolute ns/op
+// comparisons against a committed baseline carry machine noise. The
+// -min-ratio flag adds a machine-invariant leg: a floor on the ratio of
+// two benchmarks *within the current run* (e.g. the byte-level/fast-path
+// ratio, which measures the optimization itself rather than the
+// hardware). Format: "numeratorBench,denominatorBench,floor".
+//
+// Usage:
+//
+//	benchgate -baseline old.txt -current new.txt [-max-regress 0.15]
+//	          [-filter regexp] [-min-ratio numer,denom,floor]
+//
+// Exit codes: 0 pass, 1 regression past threshold, 2 usage/parse error.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one result line of go-test bench output:
+//
+//	BenchmarkFlitTransfer/fastpath-4   1000   881.4 ns/op   290.44 MB/s ...
+//
+// The trailing -N GOMAXPROCS suffix is stripped so runs from machines
+// with different core counts compare by benchmark identity.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline benchmark output file")
+	current := flag.String("current", "", "current benchmark output file")
+	maxRegress := flag.Float64("max-regress", 0.15, "maximum tolerated geomean slowdown (0.15 = +15%)")
+	filter := flag.String("filter", "", "only gate benchmarks matching this regexp")
+	minRatio := flag.String("min-ratio", "", "within-current-run invariant: \"numerBench,denomBench,floor\"")
+	flag.Parse()
+
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+	code, err := gate(os.Stdout, *baseline, *current, *maxRegress, *filter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if *minRatio != "" {
+		rcode, err := gateRatio(os.Stdout, *current, *minRatio)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if rcode > code {
+			code = rcode
+		}
+	}
+	os.Exit(code)
+}
+
+// gateRatio enforces a floor on the ns/op ratio of two benchmarks inside
+// the current run — machine-invariant, so it holds across heterogeneous
+// CI hardware where absolute baselines drift.
+func gateRatio(w io.Writer, currentPath, spec string) (int, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("bad -min-ratio %q: want \"numerBench,denomBench,floor\"", spec)
+	}
+	floor, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || floor <= 0 {
+		return 0, fmt.Errorf("bad -min-ratio floor %q", parts[2])
+	}
+	cur, err := parseBench(currentPath, nil)
+	if err != nil {
+		return 0, err
+	}
+	numer, ok := cur[parts[0]]
+	if !ok {
+		return 0, fmt.Errorf("-min-ratio benchmark %q not in %s", parts[0], currentPath)
+	}
+	denom, ok := cur[parts[1]]
+	if !ok {
+		return 0, fmt.Errorf("-min-ratio benchmark %q not in %s", parts[1], currentPath)
+	}
+	ratio := numer / denom
+	fmt.Fprintf(w, "within-run ratio %s / %s = %.2f (floor %.2f)\n", parts[0], parts[1], ratio, floor)
+	if ratio < floor {
+		fmt.Fprintf(w, "FAIL: within-run ratio %.2f below the %.2f floor\n", ratio, floor)
+		return 1, nil
+	}
+	fmt.Fprintln(w, "PASS")
+	return 0, nil
+}
+
+// gate compares the two files and returns the process exit code.
+func gate(w io.Writer, baselinePath, currentPath string, maxRegress float64, filter string) (int, error) {
+	var keep *regexp.Regexp
+	if filter != "" {
+		var err error
+		if keep, err = regexp.Compile(filter); err != nil {
+			return 0, fmt.Errorf("bad -filter: %w", err)
+		}
+	}
+	base, err := parseBench(baselinePath, keep)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := parseBench(currentPath, keep)
+	if err != nil {
+		return 0, err
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := cur[name]; ok {
+			names = append(names, name)
+		} else {
+			fmt.Fprintf(w, "benchgate: %s only in baseline; skipped\n", name)
+		}
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Fprintf(w, "benchgate: %s only in current; skipped\n", name)
+		}
+	}
+	if len(names) == 0 {
+		return 0, fmt.Errorf("no common benchmarks between %s and %s", baselinePath, currentPath)
+	}
+	sort.Strings(names)
+
+	logSum := 0.0
+	worstName, worstRatio := "", 0.0
+	for _, name := range names {
+		ratio := cur[name] / base[name]
+		logSum += math.Log(ratio)
+		fmt.Fprintf(w, "%-60s %12.1f -> %12.1f ns/op  (%+.1f%%)\n",
+			name, base[name], cur[name], 100*(ratio-1))
+		if ratio > worstRatio {
+			worstName, worstRatio = name, ratio
+		}
+	}
+	geomean := math.Exp(logSum / float64(len(names)))
+	fmt.Fprintf(w, "geomean time ratio over %d benchmark(s): %.3f (threshold %.3f); worst %s at %.3f\n",
+		len(names), geomean, 1+maxRegress, worstName, worstRatio)
+	if geomean > 1+maxRegress {
+		fmt.Fprintf(w, "FAIL: geomean slowdown %+.1f%% exceeds the %.0f%% gate\n",
+			100*(geomean-1), 100*maxRegress)
+		return 1, nil
+	}
+	fmt.Fprintln(w, "PASS")
+	return 0, nil
+}
+
+// parseBench reads one bench output file into mean ns/op per benchmark
+// name, averaging -count repetitions.
+func parseBench(path string, keep *regexp.Regexp) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if keep != nil && !keep.MatchString(name) {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || ns <= 0 {
+			return nil, fmt.Errorf("%s: bad ns/op in %q", path, sc.Text())
+		}
+		sums[name] += ns
+		counts[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(sums) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	for name := range sums {
+		sums[name] /= float64(counts[name])
+	}
+	return sums, nil
+}

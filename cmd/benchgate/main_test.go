@@ -1,0 +1,159 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseBench = `
+goos: linux
+BenchmarkFlitTransfer/fastpath-4     1000    880.0 ns/op   290.44 MB/s
+BenchmarkFlitTransfer/fastpath-4     1000    920.0 ns/op   280.00 MB/s
+BenchmarkFlitTransfer/bytelevel-4     100   9900.0 ns/op
+BenchmarkMCInnerLoopFastPath-4         10   8.3e+06 ns/op   14567 Mflits_per_s
+PASS
+`
+
+func TestGatePassesOnParity(t *testing.T) {
+	base := writeTemp(t, "base.txt", baseBench)
+	cur := writeTemp(t, "cur.txt", strings.ReplaceAll(baseBench, "-4 ", "-8 "))
+	var out strings.Builder
+	code, err := gate(&out, base, cur, 0.15, "")
+	if err != nil || code != 0 {
+		t.Fatalf("code %d, err %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("missing PASS:\n%s", out.String())
+	}
+}
+
+// TestGateAveragesCountRepetitions: the two fastpath lines must average
+// to 900 ns/op before comparison.
+func TestGateAveragesCountRepetitions(t *testing.T) {
+	base := writeTemp(t, "base.txt", baseBench)
+	cur := writeTemp(t, "cur.txt", `
+BenchmarkFlitTransfer/fastpath-4  1000  900.0 ns/op
+`)
+	var out strings.Builder
+	code, err := gate(&out, base, cur, 0.01, "fastpath")
+	if err != nil || code != 0 {
+		t.Fatalf("averaged baseline should match 900 ns/op exactly: code %d err %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "(+0.0%)") {
+		t.Fatalf("expected a 0.0%% delta:\n%s", out.String())
+	}
+}
+
+func TestGateFailsPastThreshold(t *testing.T) {
+	base := writeTemp(t, "base.txt", baseBench)
+	// Every benchmark 30% slower: geomean 1.30 > 1.15.
+	cur := writeTemp(t, "cur.txt", `
+BenchmarkFlitTransfer/fastpath-4      1000   1170.0 ns/op
+BenchmarkFlitTransfer/bytelevel-4      100  12870.0 ns/op
+BenchmarkMCInnerLoopFastPath-4          10  1.079e+07 ns/op
+`)
+	var out strings.Builder
+	code, err := gate(&out, base, cur, 0.15, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("30%% regression passed the 15%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("missing FAIL:\n%s", out.String())
+	}
+}
+
+// TestGateGeomeanNotWorstCase: one slow benchmark among fast ones gates
+// on the geometric mean, not the worst case.
+func TestGateGeomeanNotWorstCase(t *testing.T) {
+	base := writeTemp(t, "base.txt", `
+BenchmarkA-4  100  1000 ns/op
+BenchmarkB-4  100  1000 ns/op
+BenchmarkC-4  100  1000 ns/op
+`)
+	cur := writeTemp(t, "cur.txt", `
+BenchmarkA-4  100  1300 ns/op
+BenchmarkB-4  100  1000 ns/op
+BenchmarkC-4  100  1000 ns/op
+`)
+	var out strings.Builder
+	code, err := gate(&out, base, cur, 0.15, "")
+	if err != nil || code != 0 {
+		t.Fatalf("geomean 1.3^(1/3)=%.3f should pass a 15%% gate: code %d err %v\n%s",
+			math.Cbrt(1.3), code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "worst BenchmarkA") {
+		t.Fatalf("worst offender not reported:\n%s", out.String())
+	}
+}
+
+func TestGateSkipsUnmatchedAndFilter(t *testing.T) {
+	base := writeTemp(t, "base.txt", baseBench)
+	cur := writeTemp(t, "cur.txt", `
+BenchmarkFlitTransfer/fastpath-4  1000  900.0 ns/op
+BenchmarkBrandNew-4               1000  100.0 ns/op
+`)
+	var out strings.Builder
+	code, err := gate(&out, base, cur, 0.15, "")
+	if err != nil || code != 0 {
+		t.Fatalf("code %d err %v\n%s", code, err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "BenchmarkBrandNew only in current") ||
+		!strings.Contains(s, "BenchmarkMCInnerLoopFastPath only in baseline") {
+		t.Fatalf("unmatched benchmarks not reported:\n%s", s)
+	}
+
+	// A filter excluding everything common is an error, not a pass.
+	if _, err := gate(&out, base, cur, 0.15, "NoSuchBench"); err == nil {
+		t.Fatal("empty intersection accepted")
+	}
+}
+
+// TestGateRatio: the within-run ratio floor passes when the fast path
+// holds its multiple and fails when it collapses, independent of the
+// machine's absolute speed.
+func TestGateRatio(t *testing.T) {
+	cur := writeTemp(t, "cur.txt", `
+BenchmarkFlitTransfer/fastpath-4   1000    900.0 ns/op
+BenchmarkFlitTransfer/bytelevel-4   100   9000.0 ns/op
+`)
+	var out strings.Builder
+	code, err := gateRatio(&out, cur, "BenchmarkFlitTransfer/bytelevel,BenchmarkFlitTransfer/fastpath,5")
+	if err != nil || code != 0 {
+		t.Fatalf("10x ratio failed a 5x floor: code %d err %v\n%s", code, err, out.String())
+	}
+	code, err = gateRatio(&out, cur, "BenchmarkFlitTransfer/bytelevel,BenchmarkFlitTransfer/fastpath,12")
+	if err != nil || code != 1 {
+		t.Fatalf("10x ratio passed a 12x floor: code %d err %v\n%s", code, err, out.String())
+	}
+	for _, bad := range []string{"onlyone", "a,b,notanumber", "missing,BenchmarkFlitTransfer/fastpath,2"} {
+		if _, err := gateRatio(&out, cur, bad); err == nil {
+			t.Errorf("bad -min-ratio %q accepted", bad)
+		}
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	if _, err := parseBench(filepath.Join(t.TempDir(), "missing.txt"), nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	empty := writeTemp(t, "empty.txt", "no benchmarks here\n")
+	if _, err := parseBench(empty, nil); err == nil {
+		t.Fatal("file without bench lines accepted")
+	}
+}

@@ -9,11 +9,21 @@
 // Monte-Carlo form of the experiment. Results are bit-identical at any
 // worker count.
 //
+// With -rare the live simulation is replaced by the rare-event deep-tail
+// estimation at the configured -ber: importance sampling on the tilted
+// error-event schedule reports FER, FER_UC, and FER_UD with relative-
+// error control (-rel-err), at operating points (BER ≤ 1e-9) where the
+// live simulator could never observe a single event. Rare mode models
+// the per-link iid channel (burst-free, no fabric), so the simulation
+// flags (-proto, -levels, -burst, -internal, -n, -compare, -reps, -csv)
+// conflict with it and are rejected.
+//
 // Usage:
 //
 //	rxlsim [-proto rxl|cxl|cxl-nopb] [-levels 1] [-ber 1e-6] [-n 100000]
 //	       [-seed 1] [-burst 0.4] [-internal 0] [-compare]
 //	       [-reps 1] [-workers 0] [-csv out.csv]
+//	       [-rare] [-proposal-ber 0] [-rel-err 0.1]
 package main
 
 import (
@@ -21,9 +31,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/link"
+	"repro/internal/reliability"
 	"repro/internal/runner"
 )
 
@@ -52,10 +64,37 @@ func main() {
 	reps := flag.Int("reps", 1, "independent replicas with derived seeds, run on the worker pool")
 	workers := flag.Int("workers", 0, "runner worker pool size (0 = GOMAXPROCS)")
 	csvPath := flag.String("csv", "", "export replica results as CSV to this path")
+	rare := flag.Bool("rare", false, "estimate rare-event deep tails at -ber instead of running the live simulation")
+	proposal := flag.Float64("proposal-ber", 0, "importance-sampling proposal BER (0 = variance-optimal auto)")
+	relErr := flag.Float64("rel-err", 0.1, "target relative error for the rare-event estimates")
 	flag.Parse()
 
 	ctx := context.Background()
 	pool := runner.Pool{Workers: *workers, BaseSeed: *seed}
+
+	if *rare {
+		// Rare mode estimates the per-link iid error process analytically
+		// rather than simulating the fabric: protocol, topology, workload,
+		// and DFE-burst flags have no effect here, so explicitly setting
+		// one is a contradiction, not something to silently discard.
+		var conflict []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "proto", "levels", "burst", "internal", "n", "compare", "reps", "csv":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			fmt.Fprintf(os.Stderr, "rxlsim: %s do(es) not apply with -rare: the rare estimators model the per-link iid channel (burst-free) without a fabric\n",
+				strings.Join(conflict, ", "))
+			os.Exit(2)
+		}
+		if err := runRare(ctx, pool, *ber, *proposal, *relErr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	base := core.Config{
 		Levels:           *levels,
@@ -161,6 +200,29 @@ func runReplicas(ctx context.Context, pool runner.Pool, base core.Config, n, rep
 	if !clean {
 		os.Exit(1)
 	}
+}
+
+// runRare prints the importance-sampled deep-tail estimates at the
+// link's BER: flit error rate against Eq. 1, uncorrectable-after-FEC
+// rate from real RS decodes, and the undetected rate composed with the
+// analytic 2^-64 CRC escape. Any shard error aborts with a non-zero
+// exit.
+func runRare(ctx context.Context, pool runner.Pool, ber, proposal, relErr float64) error {
+	pts, err := reliability.RareSweep(ctx, pool, []float64{ber}, proposal, relErr, 1<<24, reliability.DefaultShards)
+	if err != nil {
+		return err
+	}
+	pt := pts[0]
+	fmt.Printf("rare-event estimation at BER %g (per-link iid channel, rel-err target %.2f, %d shards):\n",
+		ber, relErr, reliability.DefaultShards)
+	fmt.Printf("  FER     %12.4g ±%.1f%%   (Eq. 1: %.4g, %.2f sigma; %d hits / %d trials)\n",
+		pt.FER.Value, 100*pt.FER.RelErr, pt.FER.Analytic, pt.FER.Sigma(pt.FER.Analytic),
+		pt.FER.Hits, pt.FER.Trials)
+	fmt.Printf("  FER_UC  %12.4g ±%.1f%%   (real FEC decodes; %d hits / %d trials)\n",
+		pt.FERUC.Value, 100*pt.FERUC.RelErr, pt.FERUC.Hits, pt.FERUC.Trials)
+	fmt.Printf("  FER_UD  %12.4g ±%.1f%%   (FEC-miss mass × 2^-64 CRC escape)\n",
+		pt.Undetected.Value, 100*pt.Undetected.RelErr)
+	return nil
 }
 
 // exportCSV writes results to path when one was requested; every mode

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunPropagatesShardErrors: a failing runner stage (here: canceled
+// context) must surface as an error from run — and therefore a non-zero
+// exit from main — instead of printing and continuing with a truncated
+// report.
+func TestRunPropagatesShardErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, options{n: 100, mc: true, grid: true}, io.Discard)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("run on canceled context: %v, want context.Canceled", err)
+	}
+}
+
+// TestRunRareSectionOptIn: -rare adds the deep-tail section; without it
+// the report stays the classic set.
+func TestRunRareSectionOptIn(t *testing.T) {
+	var plain strings.Builder
+	if err := run(context.Background(), options{n: 200}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "Rare-event deep tails") {
+		t.Fatal("rare section printed without -rare")
+	}
+	if !strings.Contains(plain.String(), "Section 7.1") {
+		t.Fatal("report missing the Section 7.1 header")
+	}
+}

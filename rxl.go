@@ -44,6 +44,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/perf"
 	"repro/internal/reliability"
+	"repro/internal/reliability/rarevent"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/switchfab"
@@ -153,6 +154,40 @@ type Fig8Point = reliability.Point
 
 // Fig8 returns the CXL-vs-RXL FIT series for switching levels 0..max.
 func Fig8(max int) []Fig8Point { return reliability.DefaultParams().Fig8(max) }
+
+// RareEstimate is a rare-event probability estimate: point value,
+// variance of the mean, relative error, and the raw trial/hit counts,
+// from the importance-sampling / multilevel-splitting estimators in
+// internal/reliability/rarevent.
+type RareEstimate = rarevent.Estimate
+
+// RarePoint is one BER of a deep-tail sweep: importance-sampled FER
+// (with Eq. 1 in its Analytic field), FER_UC from real FEC decodes, and
+// FER_UD composed with the analytic 2^-64 CRC escape.
+type RarePoint = reliability.RarePoint
+
+// RareCheckPoint is one BER of the self-validation sweep: the IS
+// estimate against naive schedule Monte-Carlo, with their distance in
+// combined standard errors.
+type RareCheckPoint = reliability.RareCheckPoint
+
+// RareSweep estimates the deep-tail failure chain (FER, FER_UC, FER_UD)
+// at each BER on the sharded runner with importance sampling on the
+// tilted error-event schedule. relErr is the target relative error of
+// each estimate (adaptive trial budget up to maxTrials per quantity);
+// relErr <= 0 spends exactly maxTrials. Estimates are bit-identical at
+// any worker count for a fixed pool BaseSeed.
+func RareSweep(ctx context.Context, pool Runner, bers []float64, relErr float64, maxTrials int) ([]RarePoint, error) {
+	return reliability.RareSweep(ctx, pool, bers, 0, relErr, maxTrials, reliability.DefaultShards)
+}
+
+// RareSelfCheck cross-validates the importance-sampling machinery
+// against naive schedule Monte-Carlo at BERs where both converge
+// (1e-6..1e-7); a Sigma within ±3 on every point licenses the deep-tail
+// numbers RareSweep reports where no naive cross-check is possible.
+func RareSelfCheck(ctx context.Context, pool Runner, bers []float64, flits int) ([]RareCheckPoint, error) {
+	return reliability.RareSelfCheck(ctx, pool, bers, flits, reliability.DefaultShards)
+}
 
 // Performance is the bandwidth-loss model of Section 7.2 (Eq. 11–14).
 type Performance = perf.Params
