@@ -244,6 +244,34 @@ func BenchmarkCRCPlainEncode(b *testing.B) {
 
 var sinkU64 uint64
 
+// BenchmarkCRCSlicing is the table-kernel ablation over a full 242-byte
+// flit input (header + payload, the dirty-flit materialization unit):
+// slicing-by-16 (the hot-path engine behind crc.Update/Checksum/Verify),
+// slicing-by-8, single-table, and the bit-serial reference. CI gates the
+// by16 leg absolutely and the table/by16 ratio machine-invariantly.
+func BenchmarkCRCSlicing(b *testing.B) {
+	buf := make([]byte, 242)
+	phy.NewRNG(1).Fill(buf)
+	for _, eng := range []struct {
+		name string
+		fn   func(uint64, []byte) uint64
+	}{
+		{"by16", crc.Update},
+		{"by8", crc.UpdateSlicing8},
+		{"table", crc.UpdateTable},
+		{"bitwise", crc.UpdateBitwise},
+	} {
+		b.Run(eng.name, func(b *testing.B) {
+			b.SetBytes(int64(len(buf)))
+			var sum uint64
+			for i := 0; i < b.N; i++ {
+				sum ^= eng.fn(0, buf)
+			}
+			sinkU64 = sum
+		})
+	}
+}
+
 // --- E16: hardware cost (Section 7.3) -------------------------------------
 
 // BenchmarkHWCostModel derives the full gate-level CRC encoder model from

@@ -14,12 +14,13 @@
 // -min-ratio flag adds a machine-invariant leg: a floor on the ratio of
 // two benchmarks *within the current run* (e.g. the byte-level/fast-path
 // ratio, which measures the optimization itself rather than the
-// hardware). Format: "numeratorBench,denominatorBench,floor".
+// hardware). Format: "numeratorBench,denominatorBench,floor"; repeatable,
+// every given invariant must hold.
 //
 // Usage:
 //
 //	benchgate -baseline old.txt -current new.txt [-max-regress 0.15]
-//	          [-filter regexp] [-min-ratio numer,denom,floor]
+//	          [-filter regexp] [-min-ratio numer,denom,floor]...
 //
 // Exit codes: 0 pass, 1 regression past threshold, 2 usage/parse error.
 package main
@@ -45,12 +46,22 @@ import (
 // with different core counts compare by benchmark identity.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
 
+// ratioFlags collects repeated -min-ratio specs.
+type ratioFlags []string
+
+func (r *ratioFlags) String() string { return strings.Join(*r, "; ") }
+func (r *ratioFlags) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "baseline benchmark output file")
 	current := flag.String("current", "", "current benchmark output file")
 	maxRegress := flag.Float64("max-regress", 0.15, "maximum tolerated geomean slowdown (0.15 = +15%)")
 	filter := flag.String("filter", "", "only gate benchmarks matching this regexp")
-	minRatio := flag.String("min-ratio", "", "within-current-run invariant: \"numerBench,denomBench,floor\"")
+	var minRatios ratioFlags
+	flag.Var(&minRatios, "min-ratio", "within-current-run invariant: \"numerBench,denomBench,floor\" (repeatable)")
 	flag.Parse()
 
 	if *baseline == "" || *current == "" {
@@ -62,8 +73,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	if *minRatio != "" {
-		rcode, err := gateRatio(os.Stdout, *current, *minRatio)
+	for _, spec := range minRatios {
+		rcode, err := gateRatio(os.Stdout, *current, spec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(2)

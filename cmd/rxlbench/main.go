@@ -1,0 +1,232 @@
+// Command rxlbench is a closed-loop load generator for a running rxld
+// daemon: N concurrent clients hammer POST /v1/jobs with a configurable
+// mix of repeated (cache-hittable) and unique (must-compute) jobs, and
+// the tool reports request throughput, p50/p95/p99 latency split by
+// cache outcome, and the daemon's own statsz counters.
+//
+// Usage:
+//
+//	rxlbench -addr http://127.0.0.1:8080 [-duration 10s] [-concurrency 16]
+//	         [-repeat 0.9] [-hot 4] [-kind grid] [-n 2000] [-flits 1000000]
+//
+// The hot set (-hot distinct configs) is primed once before timing
+// starts, so the repeated fraction measures pure cache-hit serving. With
+// -repeat 1 the run is a cache-only stress test; with -repeat 0 every
+// request computes. Unique jobs vary only the pool seed, so they cost
+// one full engine run each — the honest "requests served per second"
+// number for the README comes from the mixed default.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/service"
+)
+
+type options struct {
+	addr        string
+	duration    time.Duration
+	concurrency int
+	repeat      float64
+	hot         int
+	kind        string
+	n           int
+	flits       int
+	seed        uint64
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.addr, "addr", "http://127.0.0.1:8080", "rxld base URL")
+	flag.DurationVar(&opt.duration, "duration", 10*time.Second, "measurement window")
+	flag.IntVar(&opt.concurrency, "concurrency", 16, "closed-loop client count")
+	flag.Float64Var(&opt.repeat, "repeat", 0.9, "fraction of requests drawn from the hot (repeated) config set")
+	flag.IntVar(&opt.hot, "hot", 4, "distinct configs in the hot set")
+	flag.StringVar(&opt.kind, "kind", "grid", "job kind: grid or sweep")
+	flag.IntVar(&opt.n, "n", 2000, "payloads per grid cell (grid kind)")
+	flag.IntVar(&opt.flits, "flits", 1_000_000, "flit budget per point (sweep kind)")
+	flag.Uint64Var(&opt.seed, "seed", 1, "base seed of the hot set")
+	flag.Parse()
+
+	if err := run(opt, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// spec builds the job for a given seed slot.
+func (o options) spec(seed uint64) (service.JobSpec, error) {
+	switch o.kind {
+	case "grid":
+		return service.JobSpec{
+			Kind: service.KindGrid,
+			Seed: seed,
+			Grid: &core.Grid{
+				Base: core.Config{Protocol: link.ProtocolRXL, Levels: 1, BER: 1e-6, BurstProb: 0.4, Seed: 7},
+				N:    o.n,
+			},
+		}, nil
+	case "sweep":
+		return service.JobSpec{
+			Kind:  service.KindSweep,
+			Seed:  seed,
+			Sweep: &service.SweepSpec{BERs: []float64{1e-6}, FlitsPerPoint: o.flits},
+		}, nil
+	default:
+		return service.JobSpec{}, fmt.Errorf("rxlbench: unknown kind %q (want grid or sweep)", o.kind)
+	}
+}
+
+// sample is one completed request.
+type sample struct {
+	latency time.Duration
+	cached  bool
+}
+
+func run(opt options, w *os.File) error {
+	if opt.repeat < 0 || opt.repeat > 1 {
+		return fmt.Errorf("rxlbench: -repeat %g out of [0,1]", opt.repeat)
+	}
+	if opt.hot < 1 || opt.concurrency < 1 {
+		return fmt.Errorf("rxlbench: need -hot >= 1 and -concurrency >= 1")
+	}
+	if _, err := opt.spec(0); err != nil {
+		return err
+	}
+	c := service.NewClient(opt.addr)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("rxlbench: daemon unreachable at %s: %w", opt.addr, err)
+	}
+
+	// Prime the hot set so the repeated fraction measures cache serving,
+	// not the first computations.
+	fmt.Fprintf(w, "priming %d hot config(s)...\n", opt.hot)
+	for i := 0; i < opt.hot; i++ {
+		spec, _ := opt.spec(opt.seed + uint64(i))
+		if _, err := c.Run(ctx, spec); err != nil {
+			return fmt.Errorf("rxlbench: priming hot config %d: %w", i, err)
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		uniqueID atomic.Uint64
+		stop     = time.Now().Add(opt.duration)
+		results  = make([][]sample, opt.concurrency)
+		errCount atomic.Uint64
+		firstErr atomic.Value
+	)
+	uniqueID.Store(1 << 32) // unique seeds far from the hot set
+	fmt.Fprintf(w, "running %d closed-loop clients for %s (repeat fraction %.2f)...\n",
+		opt.concurrency, opt.duration, opt.repeat)
+
+	start := time.Now()
+	for wkr := 0; wkr < opt.concurrency; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(wkr) + 1))
+			for time.Now().Before(stop) {
+				var seed uint64
+				if rng.Float64() < opt.repeat {
+					seed = opt.seed + uint64(rng.Intn(opt.hot))
+				} else {
+					seed = uniqueID.Add(1)
+				}
+				spec, _ := opt.spec(seed)
+				t0 := time.Now()
+				v, err := c.Submit(ctx, spec)
+				if err != nil && service.IsQueueFull(err) {
+					time.Sleep(time.Duration(1+rng.Intn(4)) * time.Millisecond)
+					continue
+				}
+				if err == nil && !v.Status.Terminal() {
+					v, err = c.Wait(ctx, v.ID)
+				}
+				if err != nil {
+					errCount.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				if v.Status != service.StatusDone {
+					errCount.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("job %s: %s %s", v.ID, v.Status, v.Error))
+					continue
+				}
+				results[wkr] = append(results[wkr], sample{latency: time.Since(t0), cached: v.Cached})
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all, hits, misses []sample
+	for _, rs := range results {
+		for _, s := range rs {
+			all = append(all, s)
+			if s.cached {
+				hits = append(hits, s)
+			} else {
+				misses = append(misses, s)
+			}
+		}
+	}
+	if len(all) == 0 {
+		if e, ok := firstErr.Load().(error); ok {
+			return fmt.Errorf("rxlbench: no requests completed; first error: %w", e)
+		}
+		return fmt.Errorf("rxlbench: no requests completed")
+	}
+
+	fmt.Fprintf(w, "\n%d requests in %s — %.0f req/s (%d clients, closed loop)\n",
+		len(all), elapsed.Round(time.Millisecond), float64(len(all))/elapsed.Seconds(), opt.concurrency)
+	fmt.Fprintf(w, "cache hits %d (%.1f%%), computed %d, errors %d\n",
+		len(hits), 100*float64(len(hits))/float64(len(all)), len(misses), errCount.Load())
+	printLatency(w, "all     ", all)
+	printLatency(w, "cached  ", hits)
+	printLatency(w, "computed", misses)
+	if e, ok := firstErr.Load().(error); ok {
+		fmt.Fprintf(w, "first error: %v\n", e)
+	}
+
+	if st, err := c.Stats(ctx); err == nil {
+		fmt.Fprintf(w, "\ndaemon: completed=%d dedup=%d queue=%d/%d budget=%d peak=%d cache-hit-rate=%.1f%%\n",
+			st.JobsCompleted, st.DedupHits, st.QueueDepth, st.QueueCapacity,
+			st.ShardBudget, st.PeakShardsInUse, 100*st.Cache.HitRate)
+	}
+	return nil
+}
+
+// printLatency reports count, mean, and the standard percentiles.
+func printLatency(w *os.File, label string, ss []sample) {
+	if len(ss) == 0 {
+		fmt.Fprintf(w, "%s  (none)\n", label)
+		return
+	}
+	ds := make([]time.Duration, len(ss))
+	var sum time.Duration
+	for i, s := range ss {
+		ds[i] = s.latency
+		sum += s.latency
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(ds)-1))
+		return ds[i]
+	}
+	fmt.Fprintf(w, "%s  n=%-6d mean=%-10s p50=%-10s p95=%-10s p99=%-10s max=%s\n",
+		label, len(ds), (sum / time.Duration(len(ds))).Round(time.Microsecond),
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), ds[len(ds)-1].Round(time.Microsecond))
+}

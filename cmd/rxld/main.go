@@ -1,0 +1,117 @@
+// Command rxld is the experiment-serving daemon: a long-running HTTP
+// server that accepts sweep, grid, and rare-event jobs as JSON,
+// deduplicates them through a content-addressed result cache, and runs
+// misses on an admission-controlled scheduler whose total shard
+// concurrency never exceeds the configured budget.
+//
+// Usage:
+//
+//	rxld [-addr 127.0.0.1:8080] [-budget 0] [-queue 64] [-cache 256]
+//	     [-spill DIR] [-job-workers 0] [-addr-file PATH]
+//
+// The bound address is printed on startup (and written to -addr-file when
+// given), so -addr 127.0.0.1:0 picks a free port scriptably — the CI
+// smoke job starts the daemon exactly that way.
+//
+// API quickstart:
+//
+//	curl -s localhost:8080/v1/healthz
+//	curl -s -X POST localhost:8080/v1/jobs -d '{
+//	  "kind": "grid", "seed": 1,
+//	  "grid": {"Base": {"Protocol": 2, "Levels": 1, "BER": 1e-6}, "N": 5000}
+//	}'
+//	curl -s localhost:8080/v1/jobs/<id>?wait=30000
+//	curl -N localhost:8080/v1/jobs/<id>/events
+//	curl -s localhost:8080/v1/statsz
+//
+// Repeating the POST answers from the cache ("cached": true) with
+// byte-identical results — every engine is deterministic per (spec,
+// seed), so the cache can never serve a stale answer.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
+		budget     = flag.Int("budget", 0, "total shard concurrency across all jobs (0 = GOMAXPROCS)")
+		jobWorkers = flag.Int("job-workers", 0, "default per-job worker request (0 = full budget)")
+		queue      = flag.Int("queue", 64, "bounded job queue depth (admission control)")
+		cacheSize  = flag.Int("cache", 256, "in-memory result cache entries (LRU)")
+		spillDir   = flag.String("spill", "", "directory for cache disk spill (empty = memory only)")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *addrFile, service.Config{
+		ShardBudget:       *budget,
+		DefaultJobWorkers: *jobWorkers,
+		QueueDepth:        *queue,
+		CacheEntries:      *cacheSize,
+		SpillDir:          *spillDir,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, addrFile string, cfg service.Config) error {
+	srv, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	log.Printf("rxld listening on %s", bound)
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case s := <-sig:
+		log.Printf("rxld: %v — draining", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("rxld: shutdown: %v", err)
+	}
+	srv.Close()
+	st := srv.Stats()
+	log.Printf("rxld: served %d jobs (%d dedup), cache %d/%d hit rate %.1f%%",
+		st.JobsCompleted, st.DedupHits, st.Cache.Hits+st.Cache.DiskHits,
+		st.Cache.Hits+st.Cache.DiskHits+st.Cache.Misses, 100*st.Cache.HitRate)
+	return nil
+}

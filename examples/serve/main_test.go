@@ -1,0 +1,20 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestServeExample keeps the documented facade path runnable: the
+// example must complete — compute, stream, cache-hit byte-identically —
+// under `go test ./examples/...`.
+func TestServeExample(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if err := run(devnull); err != nil {
+		t.Fatal(err)
+	}
+}

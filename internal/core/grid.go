@@ -35,9 +35,11 @@ type Grid struct {
 	N int
 }
 
-// normalized returns the grid with every empty axis replaced by the
-// corresponding single Base value.
-func (g Grid) normalized() Grid {
+// Normalized returns the grid with every empty axis replaced by the
+// corresponding single Base value — the canonical form: two grids that
+// enumerate the same cells normalize to equal values, which is what the
+// serving layer's content-addressed cache keys on.
+func (g Grid) Normalized() Grid {
 	if len(g.Protocols) == 0 {
 		g.Protocols = []link.Protocol{g.Base.Protocol}
 	}
@@ -55,14 +57,14 @@ func (g Grid) normalized() Grid {
 
 // Size is the number of cells the grid enumerates.
 func (g Grid) Size() int {
-	g = g.normalized()
+	g = g.Normalized()
 	return len(g.Protocols) * len(g.Levels) * len(g.BERs) * len(g.Seeds)
 }
 
 // Configs enumerates the cell configurations in deterministic order:
 // protocol-major, then levels, then BER, with seeds innermost.
 func (g Grid) Configs() []Config {
-	g = g.normalized()
+	g = g.Normalized()
 	out := make([]Config, 0, g.Size())
 	for _, proto := range g.Protocols {
 		for _, lv := range g.Levels {

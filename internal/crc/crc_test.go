@@ -16,8 +16,11 @@ func TestEnginesAgree(t *testing.T) {
 			if got := UpdateTable(0, data); got != ref {
 				t.Fatalf("n=%d: table %#x != bitwise %#x", n, got, ref)
 			}
+			if got := UpdateSlicing8(0, data); got != ref {
+				t.Fatalf("n=%d: slicing-8 %#x != bitwise %#x", n, got, ref)
+			}
 			if got := Update(0, data); got != ref {
-				t.Fatalf("n=%d: slicing %#x != bitwise %#x", n, got, ref)
+				t.Fatalf("n=%d: slicing-16 %#x != bitwise %#x", n, got, ref)
 			}
 		}
 	}
@@ -26,7 +29,9 @@ func TestEnginesAgree(t *testing.T) {
 func TestEnginesAgreeProperty(t *testing.T) {
 	prop := func(data []byte, init uint64) bool {
 		ref := UpdateBitwise(init, data)
-		return UpdateTable(init, data) == ref && Update(init, data) == ref
+		return UpdateTable(init, data) == ref &&
+			UpdateSlicing8(init, data) == ref &&
+			Update(init, data) == ref
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -258,11 +263,34 @@ func TestISNJointPayloadSeqErrors(t *testing.T) {
 	}
 }
 
-func BenchmarkChecksumSlicing8Flit(b *testing.B) {
+// Incremental updates through block-size boundaries must agree with the
+// one-shot computation for every split point — the contract Checksum's
+// segment loop relies on now that Update mixes 16-, 8-, and 1-byte steps.
+func TestUpdateIncrementalSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 242)
+	rng.Read(data)
+	want := UpdateBitwise(0, data)
+	for cut := 0; cut <= len(data); cut++ {
+		if got := Update(Update(0, data[:cut]), data[cut:]); got != want {
+			t.Fatalf("cut=%d: incremental %#x != one-shot %#x", cut, got, want)
+		}
+	}
+}
+
+func BenchmarkChecksumSlicing16Flit(b *testing.B) {
 	data := make([]byte, 242)
 	b.SetBytes(int64(len(data)))
 	for i := 0; i < b.N; i++ {
 		sink = Update(0, data)
+	}
+}
+
+func BenchmarkChecksumSlicing8Flit(b *testing.B) {
+	data := make([]byte, 242)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		sink = UpdateSlicing8(0, data)
 	}
 }
 

@@ -52,7 +52,14 @@ func runRare(ctx context.Context, pool runner.Pool, mk func() rarevent.Estimator
 			if quota[s.Index] == 0 {
 				return rarevent.Estimate{}, nil
 			}
-			return mk().Run(quota[s.Index], s.Seed), nil
+			est := mk().Run(ctx, quota[s.Index], s.Seed)
+			// A cancelled run returns early with partial sums; surface the
+			// cancellation so Map discards the round instead of merging a
+			// truncated shard.
+			if err := ctx.Err(); err != nil {
+				return rarevent.Estimate{}, err
+			}
+			return est, nil
 		})
 		if err != nil {
 			return rarevent.Estimate{}, err
@@ -154,7 +161,11 @@ func MeasureSplitRare(ctx context.Context, pool runner.Pool, ber float64, level,
 		return rarevent.Estimate{}, fmt.Errorf("reliability: MeasureSplitRare level %d out of 1..8 (0 = default 4)", level)
 	}
 	parts, err := runner.Map(ctx, pool, shards, func(ctx context.Context, s runner.Shard) (rarevent.Estimate, error) {
-		return rarevent.Splitting{BER: ber, Level: level}.Run(effortPerShard, s.Seed), nil
+		est := rarevent.Splitting{BER: ber, Level: level}.Run(ctx, effortPerShard, s.Seed)
+		if err := ctx.Err(); err != nil {
+			return rarevent.Estimate{}, err
+		}
+		return est, nil
 	})
 	if err != nil {
 		return rarevent.Estimate{}, err

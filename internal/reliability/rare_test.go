@@ -2,6 +2,7 @@ package reliability
 
 import (
 	"context"
+	"errors"
 	"math"
 	"runtime"
 	"testing"
@@ -196,5 +197,63 @@ func TestRareSweepAndValidation(t *testing.T) {
 	cancel()
 	if _, err := MeasureFERRare(canceled, runner.Pool{}, 1e-9, 0, 0, 1000, 4); err == nil {
 		t.Fatal("canceled context accepted")
+	}
+}
+
+// TestMeasureFERRareCancelStopsMidRound: a cancelled deep-tail job must
+// abandon its shards mid-round instead of running each shard's full
+// budget to completion. The budget below (2^30 flits per round at a
+// proposal tilt that strikes nearly every flit) takes minutes to run dry;
+// the cancelled call must return the context error within a small
+// multiple of the estimators' poll period.
+func TestMeasureFERRareCancelStopsMidRound(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	pool := runner.Pool{Workers: runtime.GOMAXPROCS(0), BaseSeed: 7}
+
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := MeasureFERRare(ctx, pool, 1e-9, 0, 1e-6, 1<<30, 8)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the first round start burning
+	cancel()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled MeasureFERRare returned nil error")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+		if e := time.Since(start); e > 5*time.Second {
+			t.Fatalf("cancellation took %v — shards ran to completion", e)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled MeasureFERRare still running after 30s")
+	}
+}
+
+// TestMeasureSplitRareCancel: the splitting estimator observes
+// cancellation inside its stage scans too.
+func TestMeasureSplitRareCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// A deep level at a deep-tail BER starves every pilot stage, so an
+		// uncancelled run would grind through the maximum growth rounds.
+		_, err := MeasureSplitRare(ctx, runner.Pool{BaseSeed: 3}, 1e-9, 8, 1<<28, 8)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled MeasureSplitRare still running after 30s")
 	}
 }

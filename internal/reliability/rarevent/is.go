@@ -2,6 +2,7 @@ package rarevent
 
 import (
 	"bytes"
+	"context"
 	"math"
 
 	"repro/internal/flit"
@@ -27,8 +28,17 @@ import (
 // flip). It returns the number of clean flits, so the caller folds
 // cleanFlits × exp(UnitLogLR(p, q, UnitBits, 0)) into its weight sum.
 // This is the one copy of the clean-span idiom the IS estimators share.
-func walkTilted(ch *phy.Channel, trials int, onStruck func()) (cleanFlits int) {
-	for i := 0; i < trials; {
+//
+// The walk polls ctx every cancelCheckMask+1 steps (a step is one bulk
+// advance or one struck flit, so at proposal tilts where nearly every
+// flit is struck the poll period is a few thousand decodes) and abandons
+// the remaining budget on cancellation; the caller's partial sums are
+// discarded by the ctx.Err() contract on Estimator.Run.
+func walkTilted(ctx context.Context, ch *phy.Channel, trials int, onStruck func()) (cleanFlits int) {
+	for i, steps := 0, 0; i < trials; steps++ {
+		if steps&cancelCheckMask == 0 && ctx.Err() != nil {
+			break
+		}
 		if clean := ch.NextEvent() / UnitBits; clean > 0 {
 			if clean > trials-i {
 				clean = trials - i
@@ -44,6 +54,11 @@ func walkTilted(ch *phy.Channel, trials int, onStruck func()) (cleanFlits int) {
 	return cleanFlits
 }
 
+// cancelCheckMask sets the context-poll period of the estimator loops:
+// every 4096 steps, cheap enough to vanish against even the lightest
+// per-step work while keeping cancellation latency in the microseconds.
+const cancelCheckMask = 4095
+
 // ISFER estimates the deep-tail flit error rate P(≥1 bit error per flit)
 // at BER by importance sampling at Proposal. The Analytic field of the
 // estimate carries Eq. 1 at the true BER for cross-checking.
@@ -56,14 +71,14 @@ type ISFER struct {
 func (e ISFER) Name() string { return "is-fer" }
 
 // Run implements Estimator: `trials` flits through the tilted schedule.
-func (e ISFER) Run(trials int, seed uint64) Estimate {
+func (e ISFER) Run(ctx context.Context, trials int, seed uint64) Estimate {
 	if trials <= 0 {
 		panic("rarevent: ISFER needs at least one trial")
 	}
 	p, q := e.BER, e.Proposal
 	ch := phy.TiltedChannel(p, q, phy.NewRNG(seed))
 	est := Estimate{Trials: trials, Analytic: analyticFER(p)}
-	clean := walkTilted(ch, trials, func() {
+	clean := walkTilted(ctx, ch, trials, func() {
 		w := math.Exp(phy.UnitLogLR(p, q, UnitBits, ch.Traverse(UnitBits)))
 		est.SumW += w
 		est.Hits++
@@ -80,23 +95,23 @@ func (e ISFER) Run(trials int, seed uint64) Estimate {
 type fecEvent int
 
 const (
-	fecHarmless      fecEvent = iota // corrected, or flips cancelled
-	fecDetected                      // uncorrectable, flagged → retry/drop
-	fecMiss                          // decode "succeeded" on corrupted data
+	fecHarmless fecEvent = iota // corrected, or flips cancelled
+	fecDetected                 // uncorrectable, flagged → retry/drop
+	fecMiss                     // decode "succeeded" on corrupted data
 )
 
 // isDecode runs `trials` flits through the tilted schedule, materializes
 // every struck flit as a sealed 256B image, corrupts it per the schedule,
 // decodes the RS interleave, and hands (weight, outcome) to sink. The
 // shared walk behind ISUncorrectable and ISUndetected.
-func isDecode(ber, proposal float64, trials int, seed uint64, sink func(w float64, ev fecEvent)) (sumW float64, struck int) {
+func isDecode(ctx context.Context, ber, proposal float64, trials int, seed uint64, sink func(w float64, ev fecEvent)) (sumW float64, struck int) {
 	p, q := ber, proposal
 	master := phy.NewRNG(seed)
 	ch := phy.TiltedChannel(p, q, master.Split())
 	payloadRNG := master.Split()
 	fec := flit.NewFEC()
 	var f, reference flit.Flit
-	clean := walkTilted(ch, trials, func() {
+	clean := walkTilted(ctx, ch, trials, func() {
 		payloadRNG.Fill(f.Payload())
 		f.SealCXL(fec)
 		reference = f
@@ -137,12 +152,12 @@ type ISUncorrectable struct {
 func (e ISUncorrectable) Name() string { return "is-feruc" }
 
 // Run implements Estimator.
-func (e ISUncorrectable) Run(trials int, seed uint64) Estimate {
+func (e ISUncorrectable) Run(ctx context.Context, trials int, seed uint64) Estimate {
 	if trials <= 0 {
 		panic("rarevent: ISUncorrectable needs at least one trial")
 	}
 	est := Estimate{Trials: trials}
-	sumW, _ := isDecode(e.BER, e.Proposal, trials, seed, func(w float64, ev fecEvent) {
+	sumW, _ := isDecode(ctx, e.BER, e.Proposal, trials, seed, func(w float64, ev fecEvent) {
 		if ev == fecDetected || ev == fecMiss {
 			est.Hits++
 			est.SumWZ += w
@@ -172,7 +187,7 @@ type ISUndetected struct {
 func (e ISUndetected) Name() string { return "is-ferud" }
 
 // Run implements Estimator.
-func (e ISUndetected) Run(trials int, seed uint64) Estimate {
+func (e ISUndetected) Run(ctx context.Context, trials int, seed uint64) Estimate {
 	if trials <= 0 {
 		panic("rarevent: ISUndetected needs at least one trial")
 	}
@@ -181,7 +196,7 @@ func (e ISUndetected) Run(trials int, seed uint64) Estimate {
 		escape = 1.0 / (1 << 63) / 2 // 2^-64
 	}
 	est := Estimate{Trials: trials}
-	sumW, _ := isDecode(e.BER, e.Proposal, trials, seed, func(w float64, ev fecEvent) {
+	sumW, _ := isDecode(ctx, e.BER, e.Proposal, trials, seed, func(w float64, ev fecEvent) {
 		if ev == fecMiss {
 			// Fold the analytic escape into the weight so Value, Variance
 			// and RelErr all come out on the FER_UD scale.

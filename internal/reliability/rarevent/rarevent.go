@@ -34,6 +34,7 @@
 package rarevent
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -113,11 +114,21 @@ func (e *Estimate) finalize() {
 // error. Implementations must be deterministic per (trials, seed) so the
 // sharded wrappers inherit the runner's bit-identical-at-any-worker-count
 // guarantee.
+//
+// The context is a cancellation hook only: implementations poll ctx.Err()
+// every few thousand trajectories and return early with whatever partial
+// accounting they hold, so a cancelled daemon job stops burning its shard
+// mid-round instead of running the full budget. A partial estimate is
+// statistically meaningless — callers must check ctx.Err() after Run and
+// discard the value when it is non-nil. An uncancelled context never
+// changes a single draw, keeping determinism intact.
 type Estimator interface {
 	// Name identifies the estimator in reports and errors.
 	Name() string
-	// Run consumes `trials` flit trajectories seeded from `seed`.
-	Run(trials int, seed uint64) Estimate
+	// Run consumes `trials` flit trajectories seeded from `seed`,
+	// returning early (with a partial, to-be-discarded estimate) if ctx
+	// is cancelled.
+	Run(ctx context.Context, trials int, seed uint64) Estimate
 }
 
 // MergeIS folds per-shard IS estimates of the same quantity into one by

@@ -1,11 +1,15 @@
 package rarevent
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"repro/internal/phy"
 )
+
+// bg is the uncancelled context the estimator tests run under.
+var bg = context.Background()
 
 // TestISFERMatchesAnalyticDeepTail: at BER 1e-9 — where naive Monte-Carlo
 // would need ~5e8 flits per event — the IS estimate must land within 3σ
@@ -14,7 +18,7 @@ import (
 func TestISFERMatchesAnalyticDeepTail(t *testing.T) {
 	for _, ber := range []float64{1e-8, 1e-9, 1e-10} {
 		e := ISFER{BER: ber, Proposal: AutoProposalFER(ber)}
-		est := e.Run(400000, 1)
+		est := e.Run(bg, 400000, 1)
 		if est.Value <= 0 {
 			t.Fatalf("BER %g: zero estimate %+v", ber, est)
 		}
@@ -35,7 +39,7 @@ func TestISWeightsSumToOne(t *testing.T) {
 		{BER: 1e-6, Proposal: AutoProposalFER(1e-6)},
 		{BER: 1e-9, Proposal: AutoProposalUC(1e-9)},
 	} {
-		est := e.Run(300000, 9)
+		est := e.Run(bg, 300000, 9)
 		if math.Abs(est.MeanWeight-1) > 0.02 {
 			t.Fatalf("BER %g proposal %g: mean weight %.5f, want ≈1", e.BER, e.Proposal, est.MeanWeight)
 		}
@@ -47,7 +51,7 @@ func TestISWeightsSumToOne(t *testing.T) {
 // same hit count, Value = Hits/Trials exactly.
 func TestISFERUntiltedReducesToNaive(t *testing.T) {
 	const ber, trials = 1e-4, 100000
-	est := ISFER{BER: ber, Proposal: ber}.Run(trials, 5)
+	est := ISFER{BER: ber, Proposal: ber}.Run(bg, trials, 5)
 
 	ch := phy.NewChannel(ber, 0, phy.NewRNG(5))
 	hits := 0
@@ -85,8 +89,8 @@ func TestISEstimatorsDeterministic(t *testing.T) {
 		ISUndetected{BER: 1e-9, Proposal: AutoProposalUC(1e-9)},
 		Splitting{BER: 1e-5, Level: 3, PilotEffort: 1000},
 	} {
-		a := e.Run(20000, 77)
-		b := e.Run(20000, 77)
+		a := e.Run(bg, 20000, 77)
+		b := e.Run(bg, 20000, 77)
 		if a != b {
 			t.Fatalf("%s: reruns diverge:\n%+v\n%+v", e.Name(), a, b)
 		}
@@ -98,9 +102,9 @@ func TestISEstimatorsDeterministic(t *testing.T) {
 // converge with finite relative error at the deep tail.
 func TestISUncorrectableOrdering(t *testing.T) {
 	const ber, trials = 1e-9, 150000
-	fer := ISFER{BER: ber, Proposal: AutoProposalFER(ber)}.Run(trials, 3)
-	uc := ISUncorrectable{BER: ber, Proposal: AutoProposalUC(ber)}.Run(trials, 3)
-	ud := ISUndetected{BER: ber, Proposal: AutoProposalUC(ber)}.Run(trials, 3)
+	fer := ISFER{BER: ber, Proposal: AutoProposalFER(ber)}.Run(bg, trials, 3)
+	uc := ISUncorrectable{BER: ber, Proposal: AutoProposalUC(ber)}.Run(bg, trials, 3)
+	ud := ISUndetected{BER: ber, Proposal: AutoProposalUC(ber)}.Run(bg, trials, 3)
 
 	if !(uc.Value > 0 && uc.Value < fer.Value) {
 		t.Fatalf("FER_UC %.4g not inside (0, FER=%.4g)", uc.Value, fer.Value)
@@ -125,7 +129,7 @@ func TestISUncorrectableOrdering(t *testing.T) {
 // beyond what the trial budget could sample naively (~1e5 trials).
 func TestSplittingMatchesBinomialTail(t *testing.T) {
 	s := Splitting{BER: 1e-5, Level: 4, PilotEffort: 4096}
-	est := s.Run(120000, 11)
+	est := s.Run(bg, 120000, 11)
 	if est.Value <= 0 {
 		t.Fatalf("zero splitting estimate %+v", est)
 	}
@@ -146,7 +150,7 @@ func TestSplittingMatchesBinomialTail(t *testing.T) {
 // TestSplittingLevelOne: a single level degrades to plain schedule
 // counting of erroneous flits, pinned against Eq. 1.
 func TestSplittingLevelOne(t *testing.T) {
-	est := Splitting{BER: 1e-4, Level: 1, PilotEffort: 2048}.Run(50000, 2)
+	est := Splitting{BER: 1e-4, Level: 1, PilotEffort: 2048}.Run(bg, 50000, 2)
 	ana := AnalyticSymbolTail(1e-4, 1)
 	if math.Abs(est.Value-ana)/ana > 0.15 {
 		t.Fatalf("level-1 splitting %.4g vs analytic %.4g", est.Value, ana)
@@ -181,7 +185,7 @@ func TestAnalyticSymbolTail(t *testing.T) {
 // one pass, and preserve the sum-to-one diagnostic.
 func TestMergeIS(t *testing.T) {
 	e := ISFER{BER: 1e-9, Proposal: AutoProposalFER(1e-9)}
-	a, b := e.Run(50000, 1), e.Run(50000, 2)
+	a, b := e.Run(bg, 50000, 1), e.Run(bg, 50000, 2)
 	m := MergeIS([]Estimate{a, b})
 	if m.Trials != a.Trials+b.Trials || m.Hits != a.Hits+b.Hits {
 		t.Fatalf("merge lost counts: %+v", m)
@@ -202,7 +206,7 @@ func TestMergeIS(t *testing.T) {
 // estimates and tightens the error bar.
 func TestMergeShards(t *testing.T) {
 	s := Splitting{BER: 1e-5, Level: 3, PilotEffort: 1024}
-	parts := []Estimate{s.Run(20000, 1), s.Run(20000, 2), s.Run(20000, 3), {}}
+	parts := []Estimate{s.Run(bg, 20000, 1), s.Run(bg, 20000, 2), s.Run(bg, 20000, 3), {}}
 	m := MergeShards(parts)
 	want := (parts[0].Value + parts[1].Value + parts[2].Value) / 3
 	if math.Abs(m.Value-want) > 1e-18 {
@@ -226,9 +230,9 @@ func TestEstimatorValidation(t *testing.T) {
 		}()
 		f()
 	}
-	mustPanic("ISFER zero trials", func() { ISFER{BER: 1e-6, Proposal: 1e-4}.Run(0, 1) })
-	mustPanic("ISUncorrectable zero trials", func() { ISUncorrectable{BER: 1e-6, Proposal: 1e-4}.Run(0, 1) })
-	mustPanic("Splitting zero budget", func() { Splitting{BER: 1e-5}.Run(0, 1) })
-	mustPanic("Splitting bad level", func() { Splitting{BER: 1e-5, Level: 99}.Run(100, 1) })
-	mustPanic("Splitting bad BER", func() { Splitting{BER: 0}.Run(100, 1) })
+	mustPanic("ISFER zero trials", func() { ISFER{BER: 1e-6, Proposal: 1e-4}.Run(bg, 0, 1) })
+	mustPanic("ISUncorrectable zero trials", func() { ISUncorrectable{BER: 1e-6, Proposal: 1e-4}.Run(bg, 0, 1) })
+	mustPanic("Splitting zero budget", func() { Splitting{BER: 1e-5}.Run(bg, 0, 1) })
+	mustPanic("Splitting bad level", func() { Splitting{BER: 1e-5, Level: 99}.Run(bg, 100, 1) })
+	mustPanic("Splitting bad BER", func() { Splitting{BER: 0}.Run(bg, 100, 1) })
 }

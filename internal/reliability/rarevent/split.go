@@ -1,6 +1,7 @@
 package rarevent
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/phy"
@@ -64,8 +65,11 @@ type entry struct {
 // Run implements Estimator. `trials` is the main run's total trajectory
 // budget across stages (the pilot spends its own, included in the
 // returned Trials); the estimate's Analytic field carries the exact
-// binomial symbol-tail for cross-validation.
-func (s Splitting) Run(trials int, seed uint64) Estimate {
+// binomial symbol-tail for cross-validation. Cancellation is observed
+// between stage iterations and inside the stage scans; a cancelled run
+// returns a partial estimate the caller must discard per the Estimator
+// contract.
+func (s Splitting) Run(ctx context.Context, trials int, seed uint64) Estimate {
 	level := s.Level
 	if level == 0 {
 		level = 4
@@ -98,18 +102,22 @@ func (s Splitting) Run(trials int, seed uint64) Estimate {
 			var more []entry
 			var m int
 			if l == 0 {
-				more, m = s.scanStage(rng, effort)
+				more, m = s.scanStage(ctx, rng, effort)
 			} else {
-				more, m = s.continueStage(rng, entries, effort)
+				more, m = s.continueStage(ctx, rng, entries, effort)
 			}
 			succ = append(succ, more...)
 			n += m
-			if len(succ) >= minStageEntries || try >= 6 {
+			if len(succ) >= minStageEntries || try >= 6 || ctx.Err() != nil {
 				break
 			}
 			effort *= 2
 		}
 		est.Trials += n
+		if ctx.Err() != nil {
+			est.RelErr = math.Inf(1)
+			return est
+		}
 		if len(succ) == 0 {
 			// The ladder starved even after growth: report a zero
 			// estimate with infinite relative error rather than lie.
@@ -137,11 +145,16 @@ func (s Splitting) Run(trials int, seed uint64) Estimate {
 		var succ []entry
 		var n int
 		if l == 0 {
-			succ, n = s.scanStage(rng, effort)
+			succ, n = s.scanStage(ctx, rng, effort)
 		} else {
-			succ, n = s.continueStage(rng, entries, effort)
+			succ, n = s.continueStage(ctx, rng, entries, effort)
 		}
 		est.Trials += n
+		if ctx.Err() != nil {
+			est.RelErr = math.Inf(1)
+			est.Value = 0
+			return est
+		}
 		if len(succ) == 0 {
 			est.RelErr = math.Inf(1)
 			est.Value = 0
@@ -163,10 +176,13 @@ func (s Splitting) Run(trials int, seed uint64) Estimate {
 // schedule and returns the first-error entry states (level 1) plus the
 // number of flits examined. Clean flits cost O(1) amortized, so stage 1
 // stays feasible even at deep-tail BERs where hits are one in millions.
-func (s Splitting) scanStage(rng *phy.RNG, effort int) ([]entry, int) {
+func (s Splitting) scanStage(ctx context.Context, rng *phy.RNG, effort int) ([]entry, int) {
 	var out []entry
 	next := rng.Geometric(s.BER)
-	for i := 0; i < effort; {
+	for i, steps := 0, 0; i < effort; steps++ {
+		if steps&cancelCheckMask == 0 && ctx.Err() != nil {
+			break
+		}
 		if skip := next / UnitBits; skip > 0 {
 			if skip > effort-i {
 				next -= (effort - i) * UnitBits
@@ -198,9 +214,12 @@ func (s Splitting) scanStage(rng *phy.RNG, effort int) ([]entry, int) {
 // continueStage restarts `effort` trajectories from the given entry
 // states (cycled round-robin) and returns the states that reached the
 // next level before their flit ended.
-func (s Splitting) continueStage(rng *phy.RNG, entries []entry, effort int) ([]entry, int) {
+func (s Splitting) continueStage(ctx context.Context, rng *phy.RNG, entries []entry, effort int) ([]entry, int) {
 	var out []entry
 	for t := 0; t < effort; t++ {
+		if t&cancelCheckMask == 0 && ctx.Err() != nil {
+			break
+		}
 		e := entries[t%len(entries)]
 		pos := e.bit
 		for {

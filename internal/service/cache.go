@@ -1,0 +1,166 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is the content-addressed result store: canonical-spec SHA-256 key
+// → result bytes. Entries live in a bounded in-memory LRU; evictions (and
+// every insert, write-through) can spill to a directory so a restarted
+// daemon — or a colder, larger tier — still answers repeats without
+// recomputing. Both tiers store the exact bytes the engine produced, so a
+// hit is byte-identical to the miss that populated it.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	spillDir string
+
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits, misses, diskHits, spills uint64
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key    string
+	result []byte
+}
+
+// CacheStats is the counter snapshot exposed by /v1/statsz.
+type CacheStats struct {
+	Entries  int     `json:"entries"`
+	Capacity int     `json:"capacity"`
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	DiskHits uint64  `json:"disk_hits"`
+	Spills   uint64  `json:"spills"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// NewCache returns a cache holding up to capacity entries in memory
+// (capacity <= 0 selects 256), spilling to spillDir when non-empty.
+func NewCache(capacity int, spillDir string) (*Cache, error) {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if spillDir != "" {
+		if err := os.MkdirAll(spillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: cache spill dir: %w", err)
+		}
+	}
+	return &Cache{
+		capacity: capacity,
+		spillDir: spillDir,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}, nil
+}
+
+// Get returns the cached result bytes for key. A memory miss consults the
+// spill directory and promotes a disk hit back into the LRU.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		res := el.Value.(*cacheEntry).result
+		c.mu.Unlock()
+		return res, true
+	}
+	c.mu.Unlock()
+
+	if c.spillDir != "" {
+		if b, err := os.ReadFile(c.spillPath(key)); err == nil {
+			c.mu.Lock()
+			c.diskHits++
+			c.insertLocked(key, b)
+			c.mu.Unlock()
+			return b, true
+		}
+	}
+
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores the result bytes under key, evicting the LRU tail past
+// capacity. With a spill directory configured the entry is also written
+// through to disk (atomically, via rename), so evictions lose nothing.
+func (c *Cache) Put(key string, result []byte) {
+	c.mu.Lock()
+	c.insertLocked(key, result)
+	c.mu.Unlock()
+
+	if c.spillDir != "" {
+		if err := c.writeSpill(key, result); err == nil {
+			c.mu.Lock()
+			c.spills++
+			c.mu.Unlock()
+		}
+	}
+}
+
+// insertLocked adds or refreshes an entry and trims to capacity.
+func (c *Cache) insertLocked(key string, result []byte) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).result = result
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, result: result})
+	for c.lru.Len() > c.capacity {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+	}
+}
+
+// spillPath maps a key to its spill file. Keys are hex SHA-256, so they
+// are always safe path components.
+func (c *Cache) spillPath(key string) string {
+	return filepath.Join(c.spillDir, key+".json")
+}
+
+// writeSpill writes the entry via a temp file + rename so concurrent
+// readers never observe a torn result.
+func (c *Cache) writeSpill(key string, result []byte) error {
+	tmp, err := os.CreateTemp(c.spillDir, "spill-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(result); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.spillPath(key))
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Entries:  c.lru.Len(),
+		Capacity: c.capacity,
+		Hits:     c.hits,
+		Misses:   c.misses,
+		DiskHits: c.diskHits,
+		Spills:   c.spills,
+	}
+	if total := s.Hits + s.DiskHits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits+s.DiskHits) / float64(total)
+	}
+	return s
+}

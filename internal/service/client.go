@@ -1,0 +1,211 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the typed API client. It speaks the same HTTP surface whether
+// pointed at a TCP daemon (NewClient) or directly at an in-process Server
+// (NewInProcessClient) — the latter routes requests through ServeHTTP
+// without a socket, so examples and tests exercise exactly the handlers
+// HTTP users hit.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a daemon at base, e.g.
+// "http://127.0.0.1:8080".
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// NewInProcessClient returns a client wired straight into s.
+func NewInProcessClient(s *Server) *Client {
+	return &Client{
+		base: "http://rxld.inprocess",
+		hc:   &http.Client{Transport: inProcessTransport{h: s}},
+	}
+}
+
+// apiStatusError is a non-2xx response decoded from the error body.
+type apiStatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *apiStatusError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.Code, e.Message)
+}
+
+// IsQueueFull reports whether err is the daemon's 429 admission
+// rejection — the signal to back off and resubmit.
+func IsQueueFull(err error) bool {
+	se, ok := err.(*apiStatusError)
+	return ok && se.Code == http.StatusTooManyRequests
+}
+
+// do issues a request and decodes the JSON response into out.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var ae apiError
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		return &apiStatusError{Code: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job spec. Cache hits come back already StatusDone with
+// the result inline and Cached set.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobView, error) {
+	var v JobView
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &v)
+	return v, err
+}
+
+// Get fetches a job's current view.
+func (c *Client) Get(ctx context.Context, id string) (JobView, error) {
+	var v JobView
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &v)
+	return v, err
+}
+
+// Wait long-polls until the job reaches a terminal status or ctx ends.
+func (c *Client) Wait(ctx context.Context, id string) (JobView, error) {
+	for {
+		var v JobView
+		if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"?wait=30000", nil, &v); err != nil {
+			return v, err
+		}
+		if v.Status.Terminal() {
+			return v, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return v, err
+		}
+	}
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Run is submit-and-wait: the result bytes of the job, wherever they came
+// from (engine, cache, or a deduped in-flight sibling).
+func (c *Client) Run(ctx context.Context, spec JobSpec) (json.RawMessage, error) {
+	v, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if !v.Status.Terminal() {
+		if v, err = c.Wait(ctx, v.ID); err != nil {
+			return nil, err
+		}
+	}
+	if v.Status != StatusDone {
+		return nil, fmt.Errorf("service: job %s %s: %s", v.ID, v.Status, v.Error)
+	}
+	return v.Result, nil
+}
+
+// Stream subscribes to a job's SSE feed, invoking fn for every event —
+// the full replay first, then live updates — until the terminal event,
+// fn's error, or ctx. A nil error from Stream means the job's event log
+// completed.
+func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ae apiError
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		return &apiStatusError{Code: resp.StatusCode, Message: msg}
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var data []byte
+	terminal := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, line[len("data: "):]...)
+		case line == "" && len(data) > 0:
+			var e Event
+			if err := json.Unmarshal(data, &e); err != nil {
+				return fmt.Errorf("service: bad SSE payload: %w", err)
+			}
+			data = data[:0]
+			if err := fn(e); err != nil {
+				return err
+			}
+			if e.Type == "result" || e.Type == "error" {
+				terminal = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && !terminal {
+		return err
+	}
+	return nil
+}
+
+// Stats fetches /v1/statsz.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/v1/statsz", nil, &st)
+	return st, err
+}
+
+// Health probes /v1/healthz, failing fast if the daemon is unreachable.
+func (c *Client) Health(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}

@@ -1,0 +1,40 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/reliability"
+	"repro/internal/runner"
+)
+
+// execute runs a normalized spec on a runner pool sized to the
+// scheduler's grant and returns the result document. The bytes are what
+// the cache stores and what every identical future submission is served:
+// compact JSON from a deterministic engine, so cached, uncached, and
+// direct library runs of the same spec are byte-identical.
+func execute(ctx context.Context, spec JobSpec, pool runner.Pool) (json.RawMessage, error) {
+	var (
+		v   any
+		err error
+	)
+	switch spec.Kind {
+	case KindGrid:
+		v, err = core.RunGrid(ctx, pool, *spec.Grid)
+	case KindSweep:
+		sw := spec.Sweep
+		v, err = reliability.MCBERSweep(ctx, pool, sw.BERs, sw.FlitsPerPoint, sw.Shards)
+	case KindRare:
+		r := spec.Rare
+		v, err = reliability.RareSweep(ctx, pool, r.BERs, r.Proposal, r.RelErr, r.MaxTrials, r.Shards)
+	default:
+		// Normalize rejects unknown kinds before jobs reach the queue.
+		err = fmt.Errorf("service: unknown job kind %q", spec.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(v)
+}

@@ -1,0 +1,184 @@
+package service
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned (and mapped to 429) when a submission would
+// exceed the bounded job queue — the admission-control backpressure
+// signal: clients retry later instead of piling work onto an unbounded
+// backlog.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed is returned for submissions after shutdown began.
+var ErrClosed = errors.New("service: server closed")
+
+// scheduler owns admission: a bounded priority queue of jobs and a fixed
+// shard budget the running set draws worker allocations from.
+//
+// Invariants, asserted by test:
+//
+//  1. inUse ≤ budget at all times — the sum of granted worker
+//     allocations across running jobs never exceeds the budget, so the
+//     machine's shard concurrency is bounded by construction (each job's
+//     runner pool is sized to its grant).
+//  2. Queue order is (higher priority, then FIFO). Dispatch never
+//     reorders equal-priority jobs.
+//  3. A job is dispatched only when at least one worker is free; its
+//     grant is min(requested, free budget), at least 1 — a wide job
+//     shrinks to fit rather than starving behind the running set
+//     (results are worker-count independent, so shrinking is safe).
+type scheduler struct {
+	budget         int
+	depth          int
+	defaultWorkers int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   jobQueue
+	inUse   int
+	peak    int
+	running int
+	closed  bool
+
+	run func(j *Job, workers int) // set by the server; executes one job
+	wg  sync.WaitGroup
+}
+
+// newScheduler starts the dispatcher goroutine.
+func newScheduler(budget, depth, defaultWorkers int, run func(*Job, int)) *scheduler {
+	s := &scheduler{budget: budget, depth: depth, defaultWorkers: defaultWorkers, run: run}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(1)
+	go s.dispatch()
+	return s
+}
+
+// submit admits a job to the queue or rejects it with ErrQueueFull.
+func (s *scheduler) submit(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.queue.Len() >= s.depth {
+		return ErrQueueFull
+	}
+	heap.Push(&s.queue, j)
+	s.cond.Signal()
+	return nil
+}
+
+// dispatch pops jobs in priority order whenever budget frees up, grants
+// each an allocation, and hands it to run on its own goroutine.
+func (s *scheduler) dispatch() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for !s.closed && (s.queue.Len() == 0 || s.inUse >= s.budget) {
+			s.cond.Wait()
+		}
+		if s.closed {
+			// Drain the queue as cancelled: nothing new will run.
+			for s.queue.Len() > 0 {
+				j := heap.Pop(&s.queue).(*Job)
+				s.mu.Unlock()
+				j.Cancel()
+				s.mu.Lock()
+			}
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*Job)
+		if j.Status().Terminal() {
+			// Cancelled while queued; drop without charging the budget.
+			s.mu.Unlock()
+			continue
+		}
+		want := j.Spec.Workers
+		if want <= 0 {
+			want = s.defaultWorkers
+		}
+		if want > s.budget {
+			want = s.budget
+		}
+		grant := s.budget - s.inUse
+		if grant > want {
+			grant = want
+		}
+		s.inUse += grant
+		if s.inUse > s.peak {
+			s.peak = s.inUse
+		}
+		s.running++
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go func(j *Job, grant int) {
+			defer s.wg.Done()
+			s.run(j, grant)
+			s.mu.Lock()
+			s.inUse -= grant
+			s.running--
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}(j, grant)
+	}
+}
+
+// remove takes a job out of the pending queue (no-op if it is not
+// queued), immediately freeing its admission slot — a cancelled queued
+// job must not hold QueueDepth against live submissions while it waits
+// to be popped.
+func (s *scheduler) remove(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, q := range s.queue {
+		if q == j {
+			heap.Remove(&s.queue, i)
+			return
+		}
+	}
+}
+
+// close stops dispatching. Queued jobs are cancelled; running jobs keep
+// their grants until they observe their cancelled contexts and return.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// wait blocks until the dispatcher and every running job goroutine exit.
+func (s *scheduler) wait() { s.wg.Wait() }
+
+// snapshot returns (queued, running, inUse, peak).
+func (s *scheduler) snapshot() (queued, running, inUse, peak int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue.Len(), s.running, s.inUse, s.peak
+}
+
+// jobQueue is a max-heap on (priority, FIFO sequence).
+type jobQueue []*Job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].Spec.Priority != q[j].Spec.Priority {
+		return q[i].Spec.Priority > q[j].Spec.Priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *jobQueue) Push(x any)   { *q = append(*q, x.(*Job)) }
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return j
+}

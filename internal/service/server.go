@@ -1,0 +1,551 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// Config parameterizes a Server. The zero value is usable: GOMAXPROCS
+// shard budget, a 64-deep queue, a 256-entry memory-only cache.
+type Config struct {
+	// ShardBudget is the total worker allocation shared by all running
+	// jobs (0 = runtime.GOMAXPROCS). The scheduler guarantees the sum of
+	// per-job runner workers never exceeds it.
+	ShardBudget int
+	// DefaultJobWorkers is the allocation requested for jobs that leave
+	// Spec.Workers zero (0 = the full shard budget).
+	DefaultJobWorkers int
+	// QueueDepth bounds the pending-job queue; submissions past it are
+	// rejected with ErrQueueFull / HTTP 429 (0 = 64).
+	QueueDepth int
+	// CacheEntries bounds the in-memory result cache (0 = 256).
+	CacheEntries int
+	// SpillDir, when non-empty, persists cache entries to disk so
+	// restarts and LRU evictions keep answering repeats.
+	SpillDir string
+	// JobHistory bounds retained terminal jobs; the oldest finished jobs
+	// are forgotten past it (0 = 4096). Queued/running jobs are never
+	// evicted.
+	JobHistory int
+}
+
+// withDefaults resolves the zero fields.
+func (c Config) withDefaults() Config {
+	if c.ShardBudget <= 0 {
+		c.ShardBudget = runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultJobWorkers <= 0 || c.DefaultJobWorkers > c.ShardBudget {
+		c.DefaultJobWorkers = c.ShardBudget
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 4096
+	}
+	return c
+}
+
+// Server is the experiment-serving daemon: cache, scheduler, job
+// registry, and the HTTP surface. It is an http.Handler; cmd/rxld mounts
+// it on a listener, tests mount it on httptest, and the in-process client
+// calls it directly.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	sched *scheduler
+	mux   *http.ServeMux
+	start time.Time
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []*Job          // submission order, for history trimming
+	inflight  map[string]*Job // cache key → live job (dedup coalescing)
+	seq       uint64
+	submitted uint64
+	completed uint64
+	dedups    uint64
+	closed    bool
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	cache, err := NewCache(cfg.CacheEntries, cfg.SpillDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    cache,
+		start:    time.Now(),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+	s.sched = newScheduler(cfg.ShardBudget, cfg.QueueDepth, cfg.DefaultJobWorkers, s.runJob)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	s.mux = mux
+	return s, nil
+}
+
+// MustNew is New panicking on error, for examples and tests.
+func MustNew(cfg Config) *Server {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops admission, cancels every live job, and waits for the
+// scheduler to drain. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	live := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		live = append(live, j)
+	}
+	s.mu.Unlock()
+
+	s.sched.close()
+	for _, j := range live {
+		if !j.Status().Terminal() {
+			j.Cancel()
+		}
+	}
+	s.sched.wait()
+}
+
+// Cache exposes the result cache (cmd/rxld logs its stats on shutdown).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Submit is the in-process submission path: exactly what POST /v1/jobs
+// does, minus HTTP. It returns the job — already done on a cache hit, or
+// an existing in-flight job (dedup=true) when an identical spec is still
+// executing.
+func (s *Server) Submit(spec JobSpec) (j *Job, dedup bool, err error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, false, err
+	}
+	key := norm.Key()
+
+	if res, ok := s.cache.Get(key); ok {
+		return s.serveHit(norm, key, res)
+	}
+
+	// The in-flight lookup and the key reservation happen under one lock
+	// acquisition: two concurrent identical submissions must coalesce,
+	// never both slip past the check and run the engine twice.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	if ex, ok := s.inflight[key]; ok && schedulingEqual(ex.Spec, norm) {
+		// Coalescing shares one job — including its deadline and its
+		// response to DELETE — so it only applies when the scheduling
+		// fields match too; a same-key spec with a different timeout or
+		// priority runs on its own rather than inheriting another
+		// client's fate. (It cannot claim the in-flight key, so it
+		// computes redundantly — the correct price for divergent
+		// scheduling demands.)
+		s.dedups++
+		s.mu.Unlock()
+		return ex, true, nil
+	}
+	// Re-check the cache under the lock: an in-flight sibling that just
+	// finished writes the cache *before* releasing its key claim
+	// (runJob: cache.Put → finish → finalize), so a miss above plus no
+	// in-flight entry here guarantees the result truly doesn't exist yet
+	// — without this re-check, a submission racing the sibling's finish
+	// would recompute bytes the cache already holds.
+	if res, ok := s.cache.Get(key); ok {
+		s.mu.Unlock()
+		return s.serveHit(norm, key, res)
+	}
+	inflight := true
+	if ex, ok := s.inflight[key]; ok && ex != nil {
+		inflight = false // key already claimed by a scheduling-divergent twin
+	}
+	j = s.registerLocked(norm, key, inflight)
+	s.mu.Unlock()
+
+	if err := s.sched.submit(j); err != nil {
+		s.unregister(j)
+		return nil, false, err
+	}
+	return j, false, nil
+}
+
+// serveHit registers a terminal job view for a cache hit. Hits respect
+// admission shutdown like misses do: a closed server serves nothing.
+func (s *Server) serveHit(norm JobSpec, key string, res []byte) (*Job, bool, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	j := s.registerLocked(norm, key, false)
+	j.cached = true
+	s.mu.Unlock()
+	j.finish(StatusDone, res, "")
+	return j, false, nil
+}
+
+// schedulingEqual reports whether two normalized specs agree on the
+// fields excluded from the cache key — the ones that decide when a job
+// runs, how long it may take, and (by sharing a job ID) whose DELETE
+// cancels it.
+func schedulingEqual(a, b JobSpec) bool {
+	return a.Priority == b.Priority && a.TimeoutMS == b.TimeoutMS && a.Workers == b.Workers
+}
+
+// CancelJob cancels a job and, when it was still queued, frees its
+// admission slot immediately — a dead job must not hold QueueDepth
+// against live submissions.
+func (s *Server) CancelJob(j *Job) {
+	j.Cancel()
+	s.sched.remove(j)
+}
+
+// Job returns the job with the given ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// registerLocked allocates a job — cancellation context, queued event,
+// terminal hook — and adds it to the registry (and the in-flight index
+// when it will execute), trimming terminal history past the configured
+// bound. Caller holds s.mu.
+func (s *Server) registerLocked(spec JobSpec, key string, inflight bool) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.seq++
+	seq := s.seq
+	j := &Job{
+		ID:         fmt.Sprintf("j%06d-%s", seq, key[:8]),
+		Key:        key,
+		Spec:       spec,
+		seq:        seq,
+		ctx:        ctx,
+		cancel:     cancel,
+		events:     newBroker(),
+		onTerminal: s.finalize,
+	}
+	j.status = StatusQueued
+	j.submitted = time.Now()
+	j.events.publish(Event{Type: "status", Status: StatusQueued}, false)
+
+	s.submitted++
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+	if inflight {
+		s.inflight[key] = j
+	}
+	if len(s.order) > s.cfg.JobHistory {
+		kept := s.order[:0]
+		excess := len(s.order) - s.cfg.JobHistory
+		for _, old := range s.order {
+			if excess > 0 && old.Status().Terminal() {
+				delete(s.jobs, old.ID)
+				excess--
+				continue
+			}
+			kept = append(kept, old)
+		}
+		s.order = kept
+	}
+	return j
+}
+
+// unregister removes a job whose admission failed.
+func (s *Server) unregister(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, j.ID)
+	if s.inflight[j.Key] == j {
+		delete(s.inflight, j.Key)
+	}
+	for i, o := range s.order {
+		if o == j {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// finalize clears a finished job's in-flight entry and counts it
+// served. It is the job's onTerminal hook, so it runs exactly once on
+// every path to a terminal state — engine completion, cancellation of a
+// job still in the queue, shutdown drain — and an identical future
+// submission can never coalesce onto a dead job.
+func (s *Server) finalize(j *Job) {
+	s.mu.Lock()
+	if s.inflight[j.Key] == j {
+		delete(s.inflight, j.Key)
+	}
+	s.completed++
+	s.mu.Unlock()
+}
+
+// runJob is the scheduler's execution callback: size a runner pool to the
+// granted allocation, bridge its progress into the job's event stream,
+// run the engine, populate the cache on success.
+func (s *Server) runJob(j *Job, workers int) {
+	if !j.setRunning(workers) {
+		// Cancelled while queued; finish already ran the terminal hook.
+		return
+	}
+	ctx := j.ctx
+	if j.Spec.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.Spec.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	pool := runner.Pool{Workers: workers, BaseSeed: j.Spec.Seed, Progress: j.progress}
+	res, err := execute(ctx, j.Spec, pool)
+	switch {
+	case err == nil:
+		s.cache.Put(j.Key, res)
+		j.finish(StatusDone, res, "")
+	case errors.Is(err, context.Canceled):
+		j.finish(StatusCanceled, nil, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		j.finish(StatusFailed, nil, "deadline exceeded")
+	default:
+		j.finish(StatusFailed, nil, err.Error())
+	}
+}
+
+// Stats is the /v1/statsz document.
+type Stats struct {
+	UptimeMS        int64 `json:"uptime_ms"`
+	ShardBudget     int   `json:"shard_budget"`
+	ShardsInUse     int   `json:"shards_in_use"`
+	PeakShardsInUse int   `json:"peak_shards_in_use"`
+	// ShardUtilization is ShardsInUse / ShardBudget.
+	ShardUtilization float64        `json:"shard_utilization"`
+	QueueDepth       int            `json:"queue_depth"`
+	QueueCapacity    int            `json:"queue_capacity"`
+	RunningJobs      int            `json:"running_jobs"`
+	JobsSubmitted    uint64         `json:"jobs_submitted"`
+	JobsCompleted    uint64         `json:"jobs_completed"`
+	DedupHits        uint64         `json:"dedup_hits"`
+	JobsByStatus     map[Status]int `json:"jobs_by_status"`
+	Cache            CacheStats     `json:"cache"`
+}
+
+// Stats snapshots the server.
+func (s *Server) Stats() Stats {
+	queued, running, inUse, peak := s.sched.snapshot()
+	st := Stats{
+		UptimeMS:        time.Since(s.start).Milliseconds(),
+		ShardBudget:     s.cfg.ShardBudget,
+		ShardsInUse:     inUse,
+		PeakShardsInUse: peak,
+		QueueDepth:      queued,
+		QueueCapacity:   s.cfg.QueueDepth,
+		RunningJobs:     running,
+		JobsByStatus:    make(map[Status]int),
+		Cache:           s.cache.Stats(),
+	}
+	if st.ShardBudget > 0 {
+		st.ShardUtilization = float64(inUse) / float64(st.ShardBudget)
+	}
+	s.mu.Lock()
+	st.JobsSubmitted = s.submitted
+	st.JobsCompleted = s.completed
+	st.DedupHits = s.dedups
+	for _, j := range s.jobs {
+		st.JobsByStatus[j.Status()]++
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// ---- HTTP handlers ----
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes compact JSON. Compactness matters beyond bytes on the
+// wire: result documents are stored and served as raw messages, and an
+// indenting encoder would reformat them — breaking the byte-identity
+// between cached, uncached, and direct library runs that the cache's
+// whole design guarantees.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode spec: " + err.Error()})
+		return
+	}
+
+	j, dedup, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		return
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+
+	v := j.View()
+	v.Dedup = dedup
+	status := http.StatusAccepted
+	if v.Status.Terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, v)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		ms, err := strconv.Atoi(waitStr)
+		if err != nil || ms < 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad wait parameter"})
+			return
+		}
+		if ms > 60_000 {
+			ms = 60_000
+		}
+		waitTerminal(r.Context(), j, time.Duration(ms)*time.Millisecond)
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+// waitTerminal long-polls the job's event broker until the log is
+// terminal, the budget elapses, or the client goes away.
+func waitTerminal(ctx context.Context, j *Job, d time.Duration) {
+	deadline := time.NewTimer(d)
+	defer deadline.Stop()
+	from := 0
+	for {
+		evs, wake, done := j.events.snapshot(from)
+		from += len(evs)
+		if done {
+			return
+		}
+		select {
+		case <-wake:
+		case <-deadline.C:
+			return
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	s.CancelJob(j)
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: "streaming unsupported"})
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	from := 0
+	for {
+		evs, wake, done := j.events.snapshot(from)
+		for i, e := range evs {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", from+i, e.Type, data)
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		from += len(evs)
+		if done {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// inProcessTransport is an http.RoundTripper that dispatches requests
+// straight into an http.Handler on a goroutine, streaming the response
+// body through a pipe. Unlike httptest.ResponseRecorder it does not
+// buffer the handler to completion, so SSE streams work: each Flush-ed
+// event is readable while the handler is still running. This is what
+// makes the in-process client byte-equivalent to a TCP client without
+// ever opening a socket.
+type inProcessTransport struct {
+	h http.Handler
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t inProcessTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	pr, pw := io.Pipe()
+	rw := &pipeResponseWriter{
+		header: make(http.Header),
+		pw:     pw,
+		ready:  make(chan struct{}),
+	}
+	go func() {
+		defer func() {
+			// A handler panic must not deadlock the client.
+			if p := recover(); p != nil {
+				rw.start() // unblock the waiter if headers never went out
+				pw.CloseWithError(fmt.Errorf("service: in-process handler panic: %v", p))
+				return
+			}
+			rw.start()
+			pw.Close()
+		}()
+		t.h.ServeHTTP(rw, req)
+	}()
+
+	<-rw.ready
+	return &http.Response{
+		StatusCode:    rw.status,
+		Status:        http.StatusText(rw.status),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rw.snapshot,
+		Body:          pr,
+		ContentLength: -1,
+		Request:       req,
+	}, nil
+}
+
+// pipeResponseWriter adapts a pipe into an http.ResponseWriter with
+// Flush support (flushing is inherent: pipe writes rendezvous with the
+// reader).
+type pipeResponseWriter struct {
+	header   http.Header
+	snapshot http.Header // cloned at WriteHeader time
+	pw       *io.PipeWriter
+	status   int
+
+	once  sync.Once
+	ready chan struct{}
+}
+
+// Header implements http.ResponseWriter.
+func (w *pipeResponseWriter) Header() http.Header { return w.header }
+
+// WriteHeader freezes the headers and releases the RoundTrip waiter.
+func (w *pipeResponseWriter) WriteHeader(status int) {
+	w.once.Do(func() {
+		w.status = status
+		w.snapshot = w.header.Clone()
+		close(w.ready)
+	})
+}
+
+// start ensures the response is released even if the handler wrote
+// nothing.
+func (w *pipeResponseWriter) start() { w.WriteHeader(http.StatusOK) }
+
+// Write implements io.Writer, defaulting the status like net/http does.
+func (w *pipeResponseWriter) Write(p []byte) (int, error) {
+	w.start()
+	return w.pw.Write(p)
+}
+
+// Flush implements http.Flusher. Nothing is buffered, so it is a no-op —
+// its presence is what lets SSE handlers stream.
+func (w *pipeResponseWriter) Flush() {}

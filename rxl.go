@@ -46,6 +46,7 @@ import (
 	"repro/internal/reliability"
 	"repro/internal/reliability/rarevent"
 	"repro/internal/runner"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/switchfab"
 )
@@ -188,6 +189,51 @@ func RareSweep(ctx context.Context, pool Runner, bers []float64, relErr float64,
 func RareSelfCheck(ctx context.Context, pool Runner, bers []float64, flits int) ([]RareCheckPoint, error) {
 	return reliability.RareSelfCheck(ctx, pool, bers, flits, reliability.DefaultShards)
 }
+
+// Service is the experiment-serving daemon (internal/service): a
+// content-addressed result cache in front of an admission-controlled job
+// scheduler, exposed over HTTP (see cmd/rxld) and as an http.Handler for
+// in-process use. Identical specs are answered from the cache with
+// byte-identical results; distinct jobs share the machine under a fixed
+// shard-concurrency budget.
+type Service = service.Server
+
+// ServiceConfig parameterizes Serve: shard budget, queue depth, cache
+// size, optional disk spill. The zero value is production-usable.
+type ServiceConfig = service.Config
+
+// JobSpec is the wire form of a serving job: kind ("grid", "sweep",
+// "rare"), seed, scheduling hints, and exactly one payload.
+type JobSpec = service.JobSpec
+
+// JobView is a job's externally visible state: status, cache provenance,
+// result document, and timing.
+type JobView = service.JobView
+
+// ServiceStats is the /v1/statsz document: queue depth, shard budget
+// utilization, cache hit rate, jobs served.
+type ServiceStats = service.Stats
+
+// ServiceEvent is one entry of a job's SSE progress stream.
+type ServiceEvent = service.Event
+
+// Serve starts an in-process serving daemon. The returned Service is an
+// http.Handler ready to mount on any listener (cmd/rxld does exactly
+// that); close it to cancel live jobs and stop admission.
+func Serve(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// Client is the typed serving client: Submit/Wait/Stream/Cancel/Run
+// against a daemon, over TCP or in-process. Both paths traverse the same
+// HTTP handlers, so tests and examples exercise what production serves.
+type Client = service.Client
+
+// NewClient returns a client for a daemon at base, e.g.
+// "http://127.0.0.1:8080".
+func NewClient(base string) *Client { return service.NewClient(base) }
+
+// InProcessClient returns a client wired straight into an in-process
+// Service — no socket, same handlers, SSE streaming included.
+func InProcessClient(s *Service) *Client { return service.NewInProcessClient(s) }
 
 // Performance is the bandwidth-loss model of Section 7.2 (Eq. 11–14).
 type Performance = perf.Params

@@ -1,7 +1,9 @@
 package rxl_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"reflect"
 	"testing"
 
@@ -193,5 +195,67 @@ func TestNoCFastPathDifferential(t *testing.T) {
 					fd, ft, fs, fm, sd, st, ss, sm)
 			}
 		})
+	}
+}
+
+// TestServeFacade drives the serving daemon through the public facade:
+// rxl.Serve + rxl.InProcessClient must answer a grid job with bytes
+// identical to a direct rxl.Sweep of the same grid, and a repeat
+// submission must be a cache hit carrying the same bytes.
+func TestServeFacade(t *testing.T) {
+	srv, err := rxl.Serve(rxl.ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := rxl.InProcessClient(srv)
+	ctx := context.Background()
+
+	grid := rxl.SweepGrid{
+		Base:      rxl.Config{BER: 1e-5, BurstProb: 0.4, Seed: 3},
+		Protocols: []rxl.Protocol{rxl.CXL, rxl.RXL},
+		Levels:    []int{1},
+		N:         500,
+	}
+	spec := rxl.JobSpec{Kind: "grid", Seed: 11, Grid: &grid}
+
+	served, err := c.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := rxl.Sweep(ctx, rxl.Runner{Workers: 2, BaseSeed: 11}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, want) {
+		t.Fatalf("served result differs from direct rxl.Sweep:\n got %s\nwant %s", served, want)
+	}
+
+	v, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Cached {
+		t.Fatal("repeat submission missed the cache")
+	}
+	if !bytes.Equal(v.Result, want) {
+		t.Fatal("cached bytes differ from direct run")
+	}
+
+	// Stream: the event log of a finished job replays to its result.
+	sawResult := false
+	if err := c.Stream(ctx, v.ID, func(e rxl.ServiceEvent) error {
+		sawResult = sawResult || e.Type == "result"
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawResult {
+		t.Fatal("stream carried no result event")
 	}
 }
