@@ -391,6 +391,127 @@ func BenchmarkFlitTransfer(b *testing.B) {
 	b.Run("bytelevel", func(b *testing.B) { benchFlitTransfer(b, false) })
 }
 
+// --- PR 5: mesh-wide fast path + engine bulk advance ----------------------
+
+// benchMeshTransfer drives line-rate traffic across the full diagonal of
+// a 4x4 mesh (7 routers, 7 wire crossings) at the paper's operating point
+// (BER 1e-6) with the mesh-wide error-event fast path on or off. The mesh
+// differential suite guarantees both paths produce bit-identical results;
+// this benchmark measures what the shared path schedule buys — one
+// schedule consultation per traversal instead of per-hop channel work,
+// with clean flits forwarded by reference through every router (0
+// allocs/op in the clean-span loop).
+func benchMeshTransfer(b *testing.B, fast bool) {
+	b.ReportAllocs()
+	noc, err := rxl.NewNoC(4, 4, rxl.Config{
+		Protocol: rxl.RXL, BER: 1e-6, BurstProb: 0.4,
+		Seed: 11, NoFastPath: !fast,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := noc.Node(0, 0)
+	dst := noc.Node(3, 3)
+	tx := src.PeerTo(dst.ID)
+	delivered := 0
+	dst.PeerTo(src.ID).Deliver = func([]byte) { delivered++ }
+	payload := make([]byte, 64)
+	b.SetBytes(flit.Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Submit(payload)
+		if tx.Queued() > 256 {
+			noc.Run()
+		}
+	}
+	noc.Run()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// BenchmarkMeshTransferFastPath compares the multi-hop NoC inner loop
+// with the mesh-wide fast path against the byte-level reference (every
+// router decoding, checking, and re-encoding every flit). CI gates the
+// within-run bytelevel/fastpath ratio at ≥5×.
+func BenchmarkMeshTransferFastPath(b *testing.B) {
+	b.Run("fastpath", func(b *testing.B) { benchMeshTransfer(b, true) })
+	b.Run("bytelevel", func(b *testing.B) { benchMeshTransfer(b, false) })
+}
+
+// BenchmarkEngineBulkAdvance measures the event-dispatch cost of the
+// engine's bulk-advance pump on its dominant workload — a long monotone
+// stream of payload events (pipe deliveries) — and on a mixed stream
+// where a recurring out-of-order timer forces lane merging. The monotone
+// leg is the per-event floor under every simulator benchmark above.
+func BenchmarkEngineBulkAdvance(b *testing.B) {
+	bench := func(b *testing.B, outOfOrderEvery int) {
+		b.ReportAllocs()
+		eng := rxl.NewEngine()
+		n := 0
+		noop := func() {}
+		var pump func(interface{})
+		pump = func(interface{}) {
+			n++
+			eng.ScheduleArg(2*rxl.Nanosecond, pump, nil)
+			if outOfOrderEvery > 0 && n%outOfOrderEvery == 0 {
+				// Deepen the sorted lane past the bounded insertion
+				// window, then push beneath it — genuine heap traffic
+				// (sim.TestPushBeyondInsertWindowGoesToHeap pins that
+				// this pattern reaches the heap lane).
+				for j := rxl.Time(0); j < 12; j++ {
+					eng.Schedule((4+2*j)*rxl.Nanosecond, noop)
+				}
+				eng.At(eng.Now()+rxl.Nanosecond, noop)
+			}
+		}
+		eng.ScheduleArg(0, pump, nil)
+		b.ResetTimer()
+		eng.AdvanceTo(2 * rxl.Nanosecond * rxl.Time(b.N))
+		b.StopTimer()
+		if n < b.N {
+			b.Fatalf("dispatched %d of %d", n, b.N)
+		}
+	}
+	b.Run("monotone", func(b *testing.B) { bench(b, 0) })
+	b.Run("mixed", func(b *testing.B) { bench(b, 64) })
+}
+
+// BenchmarkMCPathInnerLoop measures the multi-hop Monte-Carlo FER loop
+// (7-hop path, the 4x4 mesh diagonal) on the shared path schedule against
+// the per-hop byte-level reference, asserts bit-identical samples, and
+// reports the schedule's speedup plus its throughput relative to the
+// single-link schedule loop (BenchmarkMCInnerLoopFastPath) — the
+// tentpole claim is that a multi-hop traversal costs within a small
+// factor of a single-link flit.
+func BenchmarkMCPathInnerLoop(b *testing.B) {
+	const ber, hops, flits = 1e-6, 7, 300_000
+	var slowT, fastT, linkT time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		ref := reliability.MeasureFERPath(ber, hops, flits, 1)
+		slowT += time.Since(start)
+
+		start = time.Now()
+		sched := reliability.MeasureFERPathSchedule(ber, hops, flits, 1)
+		fastT += time.Since(start)
+
+		start = time.Now()
+		reliability.MeasureFERSchedule(ber, flits, 1)
+		linkT += time.Since(start)
+
+		if ref != sched {
+			b.Fatalf("path schedule sample diverges from byte-level:\nbyte %+v\nsched %+v", ref, sched)
+		}
+	}
+	b.ReportMetric(slowT.Seconds()/fastT.Seconds(), "speedup_vs_bytelevel")
+	// Per hop crossing: a 7-hop traversal is 7 single-link units of
+	// channel work, so this is the apples-to-apples cost of the shared
+	// schedule versus the single-link loop (tentpole bar: ~2-5×).
+	b.ReportMetric(fastT.Seconds()/(float64(hops)*linkT.Seconds()), "hop_cost_vs_single_link")
+	b.ReportMetric(float64(flits)*float64(b.N)/fastT.Seconds()/1e6, "Mflits_per_s")
+}
+
 // seedFERLoop reproduces the pre-PR-2 Monte-Carlo FER inner loop exactly:
 // per flit, zero a 256B image, draw a fresh geometric gap (truncated at
 // the flit boundary — the statistical bug the residual-gap fix removed),

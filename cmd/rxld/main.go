@@ -1,5 +1,6 @@
 // Command rxld is the experiment-serving daemon: a long-running HTTP
-// server that accepts sweep, grid, and rare-event jobs as JSON,
+// server that accepts sweep, grid, rare-event, protocol-comparison, and
+// rare-selfcheck jobs as JSON — every workload the one-shot CLIs run —
 // deduplicates them through a content-addressed result cache, and runs
 // misses on an admission-controlled scheduler whose total shard
 // concurrency never exceeds the configured budget.
@@ -20,13 +21,19 @@
 //	  "kind": "grid", "seed": 1,
 //	  "grid": {"Base": {"Protocol": 2, "Levels": 1, "BER": 1e-6}, "N": 5000}
 //	}'
+//	curl -s -X POST localhost:8080/v1/jobs -d '{
+//	  "kind": "comparison", "seed": 1,
+//	  "comparison": {"base": {"Levels": 1, "BER": 1e-6}, "n": 5000}
+//	}'
 //	curl -s localhost:8080/v1/jobs/<id>?wait=30000
 //	curl -N localhost:8080/v1/jobs/<id>/events
 //	curl -s localhost:8080/v1/statsz
 //
 // Repeating the POST answers from the cache ("cached": true) with
 // byte-identical results — every engine is deterministic per (spec,
-// seed), so the cache can never serve a stale answer.
+// seed), so the cache can never serve a stale answer. Finished job
+// fetches carry an ETag (the job's content address); repeat GETs with
+// If-None-Match are answered 304 without re-sending the result document.
 package main
 
 import (

@@ -75,7 +75,12 @@ type Fabric struct {
 	Cfg   Config
 	Eng   *sim.Engine
 	Chain *switchfab.Chain
-	rng   *phy.RNG
+	// FwdSched and BwdSched are the per-direction shared error-event
+	// schedules (nil when BER is 0): each A→B traversal consumes one
+	// levels+1-hop window of FwdSched end-to-end, with the whole-path
+	// grant taken at the first wire, and symmetrically for B→A.
+	FwdSched, BwdSched *phy.SharedSchedule
+	rng                *phy.RNG
 }
 
 // NewFabric builds a fabric from the configuration.
@@ -105,9 +110,22 @@ func NewFabric(cfg Config) (*Fabric, error) {
 	f.Chain = switchfab.NewChain(eng, ccfg)
 
 	if cfg.BER > 0 {
-		for _, w := range f.Chain.AllWires() {
-			w.Channel = phy.NewChannel(cfg.BER, cfg.BurstProb, f.rng.Split())
+		// One shared schedule per direction: the whole A→B (and B→A) path
+		// is one error-event stream, consumed a levels+1-hop window per
+		// flit. The first wire of each direction is the injection point
+		// where whole-path grants are taken.
+		f.FwdSched = phy.NewSharedSchedule(cfg.BER, cfg.BurstProb, f.rng.Split(), flit.Bits)
+		f.BwdSched = phy.NewSharedSchedule(cfg.BER, cfg.BurstProb, f.rng.Split(), flit.Bits)
+		wireSched := func(wires []*link.Wire, s *phy.SharedSchedule) {
+			for i, w := range wires {
+				w.PathSched = s
+				if i == 0 {
+					w.PathHops = len(wires)
+				}
+			}
 		}
+		wireSched(f.Chain.Fwd, f.FwdSched)
+		wireSched(f.Chain.Bwd, f.BwdSched)
 	}
 	if cfg.InternalFlipProb > 0 {
 		for _, s := range f.Chain.Switches {
@@ -139,11 +157,11 @@ func (f *Fabric) Run() { f.Eng.Run() }
 func (f *Fabric) RunFor(d sim.Time) { f.Eng.RunUntil(f.Eng.Now() + d) }
 
 // sealedLimit is the extent of the integrity keystream within a payload:
-// everything up to the fabric routing bytes, which the link layer may
-// stamp in transit.
+// everything up to the fabric routing bytes (source and destination tags),
+// which the link layer may stamp in transit.
 func sealedLimit(n int) int {
-	if n > flit.RouteOffset {
-		return flit.RouteOffset
+	if n > flit.SrcRouteOffset {
+		return flit.SrcRouteOffset
 	}
 	return n
 }

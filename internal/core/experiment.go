@@ -103,7 +103,14 @@ func RunComparison(base Config, n int) map[link.Protocol]Result {
 }
 
 // RunComparisonPool is RunComparison with an explicit context and pool.
+// A zero base seed is replaced by one seed derived from the pool's base
+// seed — the *same* seed for all three variants, since the comparison's
+// whole point is identical error patterns across protocols — so distinct
+// pool seeds yield independent comparison samples.
 func RunComparisonPool(ctx context.Context, pool runner.Pool, base Config, n int) (map[link.Protocol]Result, error) {
+	if base.Seed == 0 {
+		base.Seed = runner.ShardSeed(pool.BaseSeed, 0)
+	}
 	results, err := runner.Map(ctx, pool, len(Protocols), func(ctx context.Context, s runner.Shard) (Result, error) {
 		cfg := base
 		cfg.Protocol = Protocols[s.Index]

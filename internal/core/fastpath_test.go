@@ -6,20 +6,32 @@ import (
 	"testing"
 
 	"repro/internal/link"
+	"repro/internal/phy"
 	"repro/internal/sim"
 	"repro/internal/switchfab"
 	"repro/internal/trace"
 )
 
-// channelStats is the per-wire channel accounting a fabric run leaves
-// behind, in AllWires order.
+// channelStats is the error-process accounting a fabric run leaves
+// behind: one entry per direction's shared path schedule.
 type channelStats struct {
 	BitsSeen, BitsFlipped, ErrorEvents, UnitsTouched uint64
 }
 
+// schedStats snapshots a shared schedule's channel accounting.
+func schedStats(s *phy.SharedSchedule) channelStats {
+	ch := s.Channel()
+	return channelStats{
+		BitsSeen:     ch.BitsSeen,
+		BitsFlipped:  ch.BitsFlipped,
+		ErrorEvents:  ch.ErrorEvents,
+		UnitsTouched: ch.UnitsTouched,
+	}
+}
+
 // runOnce executes one experiment and returns its result (with the config
-// blanked so fast and slow runs compare equal) plus every wire channel's
-// statistics.
+// blanked so fast and slow runs compare equal) plus the per-direction
+// shared-schedule statistics.
 func runOnce(t *testing.T, cfg Config, n int) (Result, []channelStats) {
 	t.Helper()
 	f, err := NewFabric(cfg)
@@ -30,16 +42,8 @@ func runOnce(t *testing.T, cfg Config, n int) (Result, []channelStats) {
 	res := exp.Run()
 	res.Cfg = Config{}
 	var chs []channelStats
-	for _, w := range f.Chain.AllWires() {
-		if w.Channel == nil {
-			continue
-		}
-		chs = append(chs, channelStats{
-			BitsSeen:     w.Channel.BitsSeen,
-			BitsFlipped:  w.Channel.BitsFlipped,
-			ErrorEvents:  w.Channel.ErrorEvents,
-			UnitsTouched: w.Channel.UnitsTouched,
-		})
+	if f.FwdSched != nil {
+		chs = append(chs, schedStats(f.FwdSched), schedStats(f.BwdSched))
 	}
 	return res, chs
 }

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// runMeshOnce executes one mesh workload and returns the result with the
+// config blanked so fast and slow runs compare equal.
+func runMeshOnce(t *testing.T, cfg Config, w, h int, flows []MeshFlow, n int) MeshResult {
+	t.Helper()
+	m, err := NewMeshFabric(cfg, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.RunWorkload(flows, n)
+	res.Cfg = Config{}
+	return res
+}
+
+// assertMeshFastSlowIdentical runs the same mesh workload with the fast
+// path on and off and requires bit-identical accounting: per-flow failure
+// taxonomy, endpoint link statistics, router totals, per-path channel
+// statistics, and simulated end time.
+func assertMeshFastSlowIdentical(t *testing.T, cfg Config, w, h int, flows []MeshFlow, n int) {
+	t.Helper()
+	fastCfg, slowCfg := cfg, cfg
+	fastCfg.NoFastPath = false
+	slowCfg.NoFastPath = true
+
+	fast := runMeshOnce(t, fastCfg, w, h, flows, n)
+	slow := runMeshOnce(t, slowCfg, w, h, flows, n)
+	if !reflect.DeepEqual(fast, slow) {
+		t.Errorf("mesh fast/slow diverge:\nfast: %+v\nslow: %+v", fast, slow)
+	}
+}
+
+// meshCases are the topology grid of the differential suite: a 1-wide
+// chain-degenerate mesh, the minimal square, and the full 4x4 diagonal
+// with crossing flows sharing intermediate routers.
+var meshCases = []struct {
+	name  string
+	w, h  int
+	flows []MeshFlow
+}{
+	{"4x1", 4, 1, []MeshFlow{
+		{SrcX: 0, SrcY: 0, DstX: 3, DstY: 0},
+		{SrcX: 3, SrcY: 0, DstX: 0, DstY: 0},
+	}},
+	{"2x2", 2, 2, []MeshFlow{
+		{SrcX: 0, SrcY: 0, DstX: 1, DstY: 1},
+		{SrcX: 1, SrcY: 0, DstX: 0, DstY: 1},
+	}},
+	{"4x4", 4, 4, []MeshFlow{
+		{SrcX: 0, SrcY: 0, DstX: 3, DstY: 3},
+		{SrcX: 3, SrcY: 0, DstX: 0, DstY: 3},
+		{SrcX: 0, SrcY: 3, DstX: 3, DstY: 0},
+	}},
+}
+
+// TestMeshFastPathDifferential is the correctness bar of the mesh-wide
+// error-event fast path: for identical seeds, FastPath on and off must
+// produce bit-identical workload results across mesh sizes × protocols ×
+// BERs spanning error-free, rare-error, and retry-heavy operating points.
+func TestMeshFastPathDifferential(t *testing.T) {
+	const n = 250
+	for _, tc := range meshCases {
+		for _, proto := range Protocols {
+			for _, ber := range []float64{0, 1e-6, 1e-4} {
+				cfg := Config{
+					Protocol:  proto,
+					BER:       ber,
+					BurstProb: 0.4,
+					Seed:      100*uint64(tc.w) + 13,
+				}
+				name := fmt.Sprintf("%s/%s/BER%g", tc.name, proto, ber)
+				t.Run(name, func(t *testing.T) {
+					assertMeshFastSlowIdentical(t, cfg, tc.w, tc.h, tc.flows, n)
+				})
+			}
+		}
+	}
+}
+
+// TestMeshFastPathDifferentialInternalCorruption adds router-internal bit
+// flips mid-path, forcing clean granted flits onto the byte-level path
+// inside the mesh: the materialized image must be byte-identical to an
+// eager seal or verdicts diverge.
+func TestMeshFastPathDifferentialInternalCorruption(t *testing.T) {
+	for _, proto := range Protocols {
+		t.Run(proto.String(), func(t *testing.T) {
+			run := func(noFast bool) MeshResult {
+				cfg := Config{
+					Protocol:   proto,
+					BER:        1e-5,
+					Seed:       42,
+					NoFastPath: noFast,
+				}
+				m := MustNewMeshFabric(cfg, 3, 3)
+				// Deterministic internal fault seeding on every router, so
+				// fast and slow draw the same fault points.
+				root := phy.NewRNG(7)
+				for _, col := range m.Mesh.Routers {
+					for _, r := range col {
+						r.SeedInternalFaults(2e-3, root.Split())
+					}
+				}
+				flows := []MeshFlow{
+					{SrcX: 0, SrcY: 0, DstX: 2, DstY: 2},
+					{SrcX: 2, SrcY: 2, DstX: 0, DstY: 0},
+				}
+				res := m.RunWorkload(flows, 250)
+				res.Cfg = Config{}
+				return res
+			}
+			fast, slow := run(false), run(true)
+			if !reflect.DeepEqual(fast, slow) {
+				t.Errorf("mesh fast/slow diverge under internal corruption:\nfast: %+v\nslow: %+v", fast, slow)
+			}
+		})
+	}
+}
+
+// TestMeshStatsAudit pins the per-hop statistics semantics against the
+// flit's actual route — the double-count fix: a flit crossing R routers
+// increments FlitsIn R times, Forwarded R-1 times (the inter-router
+// sends), and DeliveredLocal once. Before the fix the delivery hop was
+// counted as a forward, inflating Forwarded by one per delivered flit.
+// The audit holds identically on the fast path and the byte-level
+// reference.
+func TestMeshStatsAudit(t *testing.T) {
+	const n = 400
+	for _, noFast := range []bool{false, true} {
+		name := "fastpath"
+		if noFast {
+			name = "bytelevel"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{Protocol: link.ProtocolRXL, Seed: 5, NoFastPath: noFast}
+			m := MustNewMeshFabric(cfg, 4, 4)
+			flow := MeshFlow{SrcX: 0, SrcY: 0, DstX: 3, DstY: 3}
+			res := m.RunWorkload([]MeshFlow{flow}, n)
+			if !res.Clean() {
+				t.Fatalf("clean mesh run not clean: %+v", res.PerFlow)
+			}
+
+			// Every flit — data forward, control reverse — crosses 7
+			// routers on the (0,0)↔(3,3) diagonal. Reverse control
+			// traffic: standalone ACKs from the receiver (no NAKs, no
+			// retransmissions on a clean run).
+			dataFlits := res.TxStats[0].FlitsSent
+			ackFlits := res.RxStats[0].FlitsSent
+			if res.TxStats[0].Retransmissions != 0 || res.RxStats[0].NakFlitsSent != 0 {
+				t.Fatalf("clean run had recovery traffic: %+v", res.TxStats[0])
+			}
+			total := dataFlits + ackFlits
+			const routersOnPath = 7 // 1 + Manhattan distance 6
+			st := res.Routers
+			if st.FlitsIn != total*routersOnPath {
+				t.Errorf("FlitsIn = %d, want %d (%d flits × %d routers)", st.FlitsIn, total*routersOnPath, total, routersOnPath)
+			}
+			if st.Forwarded != total*(routersOnPath-1) {
+				t.Errorf("Forwarded = %d, want %d — delivery hop double-counted as forward", st.Forwarded, total*(routersOnPath-1))
+			}
+			if st.DeliveredLocal != total {
+				t.Errorf("DeliveredLocal = %d, want %d", st.DeliveredLocal, total)
+			}
+		})
+	}
+}
+
+// TestMeshWorkloadSpanDrainEquivalence: draining the same mesh workload
+// with the engine's bulk Run and with RunSpans at an arbitrary span gives
+// identical delivery accounting — the engine-level bulk-advance
+// determinism surfaced at the fabric layer.
+func TestMeshWorkloadSpanDrainEquivalence(t *testing.T) {
+	run := func(span sim.Time) MeshResult {
+		cfg := Config{Protocol: link.ProtocolRXL, BER: 1e-5, BurstProb: 0.4, Seed: 9}
+		m := MustNewMeshFabric(cfg, 3, 3)
+		flow := MeshFlow{SrcX: 0, SrcY: 0, DstX: 2, DstY: 2}
+		src := m.Node(flow.SrcX, flow.SrcY)
+		dst := m.Node(flow.DstX, flow.DstY)
+		tx := src.PeerTo(dst.ID)
+		col := NewCollector(300)
+		dst.PeerTo(src.ID).Deliver = col.Deliver
+		for i := 0; i < 300; i++ {
+			tx.Submit(SealedPayload(uint64(i)))
+		}
+		if span > 0 {
+			m.Eng.RunSpans(span)
+		} else {
+			m.Run()
+		}
+		return MeshResult{
+			PerFlow: []FailureCounts{col.Finish()},
+			TxStats: []link.Stats{tx.Stats},
+			Routers: m.Mesh.TotalStats(),
+			Paths:   m.Mesh.PathStats(),
+		}
+	}
+	ref := run(0)
+	for _, span := range []sim.Time{1 * sim.Nanosecond, 37 * sim.Nanosecond, 5 * sim.Microsecond} {
+		got := run(span)
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("span %d drain diverges:\nrun:   %+v\nspans: %+v", span, ref, got)
+		}
+	}
+}

@@ -171,9 +171,10 @@ type Flit struct {
 
 	kind     sealKind
 	isnSeq   uint16
-	clean    bool // image is bit-identical to the sealed image
-	deferred bool // CRC/FEC fields not yet materialized
-	pooled   bool // obtained from Get; recyclable via Release
+	clean    bool  // image is bit-identical to the sealed image
+	deferred bool  // CRC/FEC fields not yet materialized
+	pooled   bool  // obtained from Get; recyclable via Release
+	pass     uint8 // remaining path-pass hops (shared-schedule grant)
 }
 
 // pool recycles flit images across transmissions. The slow path allocates
@@ -294,6 +295,32 @@ func (f *Flit) DeferSealRXL(seq uint16) {
 // sealed form.
 func (f *Flit) Clean() bool { return f.clean }
 
+// SetPathPass grants the flit `hops` further wire crossings whose channel
+// work a shared path schedule has already consumed (phy.SharedSchedule's
+// whole-traversal grant). The pass says nothing about the image — it only
+// records that the error-event schedule was advanced across those
+// crossings up front, so they must not consume it again.
+func (f *Flit) SetPathPass(hops int) {
+	if hops < 0 || hops > 255 {
+		panic("flit: path pass out of range")
+	}
+	f.pass = uint8(hops)
+}
+
+// TakePathPass consumes one granted crossing, reporting whether the flit
+// held one. Each wire crossing on a shared-schedule path calls it exactly
+// once before any channel work.
+func (f *Flit) TakePathPass() bool {
+	if f.pass == 0 {
+		return false
+	}
+	f.pass--
+	return true
+}
+
+// PathPass returns the remaining granted crossings.
+func (f *Flit) PathPass() int { return int(f.pass) }
+
 // Deferred reports whether the CRC/FEC fields still await Materialize.
 func (f *Flit) Deferred() bool { return f.deferred }
 
@@ -393,11 +420,11 @@ func (f *Flit) RecomputeCRC() {
 }
 
 // Clone returns a deep copy of the flit, including its fast-path seal
-// state. Clones never belong to the pool.
+// state and any path pass. Clones never belong to the pool.
 func (f *Flit) Clone() *Flit {
 	g := &Flit{}
 	g.Raw = f.Raw
-	g.kind, g.isnSeq, g.clean, g.deferred = f.kind, f.isnSeq, f.clean, f.deferred
+	g.kind, g.isnSeq, g.clean, g.deferred, g.pass = f.kind, f.isnSeq, f.clean, f.deferred, f.pass
 	return g
 }
 

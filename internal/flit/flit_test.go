@@ -213,6 +213,43 @@ func TestCloneIsDeep(t *testing.T) {
 	}
 }
 
+func TestPathPass(t *testing.T) {
+	f := &Flit{}
+	if f.TakePathPass() {
+		t.Fatal("fresh flit held a pass")
+	}
+	f.SetPathPass(2)
+	if f.PathPass() != 2 {
+		t.Fatalf("PathPass = %d", f.PathPass())
+	}
+	g := f.Clone()
+	for i := 0; i < 2; i++ {
+		if !f.TakePathPass() || !g.TakePathPass() {
+			t.Fatalf("crossing %d: pass not honored", i)
+		}
+	}
+	if f.TakePathPass() || g.TakePathPass() {
+		t.Fatal("pass outlived its granted crossings")
+	}
+
+	// Pooled recycling must not leak a pass into the next user.
+	p := Get()
+	p.SetPathPass(3)
+	Release(p)
+	if q := Get(); q.PathPass() != 0 {
+		t.Fatal("pool leaked a path pass")
+	}
+}
+
+func TestPathPassRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	(&Flit{}).SetPathPass(256)
+}
+
 func TestReplayCmdStrings(t *testing.T) {
 	cases := map[ReplayCmd]string{
 		CmdSeq: "SEQ", CmdAck: "ACK", CmdNakGoBackN: "NAK-GBN", CmdNakSingle: "NAK-1",

@@ -24,6 +24,20 @@ type Wire struct {
 	// according to its BER/burst model.
 	Channel *phy.Channel
 
+	// PathSched, when non-nil, replaces Channel with a shared path
+	// schedule: every wire of one source→destination path holds the same
+	// SharedSchedule and each crossing consumes one unit of its stream.
+	// On the wire where traversals begin (PathHops > 0) a clean window
+	// grants the flit a path pass covering the whole traversal, so the
+	// remaining wires skip channel work entirely. The grant policy is
+	// part of the channel model — it applies identically whether flits
+	// ride the fast path or the byte-level reference.
+	PathSched *phy.SharedSchedule
+	// PathHops, on the injection wire of a path, is the total number of
+	// wire crossings (this one included) a traversal spans. Zero marks a
+	// mid-path wire.
+	PathHops int
+
 	// FaultHook, when non-nil, inspects each (possibly corrupted) flit at
 	// arrival; returning true drops the flit silently — the scripted
 	// equivalent of a switch discarding an uncorrectable flit. Hooked
@@ -51,7 +65,14 @@ func NewWire(eng *sim.Engine, ser, prop sim.Time, deliver func(*flit.Flit)) *Wir
 		PropagationDelay:   prop,
 		Sink: func(x interface{}) {
 			f := x.(*flit.Flit)
-			if w.Channel != nil {
+			switch {
+			case w.PathSched != nil:
+				if w.PathHops > 0 {
+					BeginPathTraversal(w.PathSched, w.fecLazy(), f, w.PathHops)
+				} else if !f.TakePathPass() {
+					CrossPathUnit(w.PathSched, w.fecLazy(), f)
+				}
+			case w.Channel != nil:
 				if f.Clean() && w.Channel.NextEvent() >= flit.Bits {
 					// Fast path: the schedule proves this flit crosses
 					// untouched. Account the bits and move on.
@@ -84,15 +105,54 @@ func (w *Wire) materialize(f *flit.Flit) {
 	if !f.Deferred() {
 		return
 	}
+	f.Materialize(w.fecLazy())
+}
+
+// fecLazy returns the wire's FEC codec, building it on first use — clean
+// traffic on an error-free wire never needs one.
+func (w *Wire) fecLazy() *rs.Interleaved {
 	if w.fec == nil {
 		w.fec = flit.NewFEC()
 	}
-	f.Materialize(w.fec)
+	return w.fec
+}
+
+// BeginPathTraversal opens a flit's traversal of a shared-schedule path at
+// its injection crossing. A clean whole-traversal window consumes all
+// hops×flit.Bits up front and grants the flit a pass for the remaining
+// hops-1 crossings; otherwise only this crossing is consumed, byte-level
+// when the schedule strikes it. The decision depends only on the schedule
+// — never on the flit's fast-path marks — so fast and byte-level runs
+// consume the stream identically.
+func BeginPathTraversal(s *phy.SharedSchedule, fec *rs.Interleaved, f *flit.Flit, hops int) {
+	if s.Begin(hops) {
+		f.SetPathPass(hops - 1)
+		return
+	}
+	CrossPathUnit(s, fec, f)
+}
+
+// CrossPathUnit consumes one shared-schedule crossing for f: an O(1)
+// advance when the unit is clean, a materialize-and-corrupt when the
+// schedule strikes it.
+func CrossPathUnit(s *phy.SharedSchedule, fec *rs.Interleaved, f *flit.Flit) {
+	if s.CrossClean() {
+		s.Advance()
+		return
+	}
+	f.Materialize(fec)
+	if s.Corrupt(f.Raw[:]) > 0 {
+		f.Taint()
+	}
 }
 
 // Send transmits a flit. The caller relinquishes ownership: the flit may be
 // corrupted in flight and is handed to the receiver.
 func (w *Wire) Send(f *flit.Flit) { w.pipe.Send(f) }
+
+// SendAfter transmits a flit whose serialization may start no earlier
+// than `earliest` — the switch-latency fold (sim.Pipe.SendAt).
+func (w *Wire) SendAfter(f *flit.Flit, earliest sim.Time) { w.pipe.SendAt(f, earliest) }
 
 // FreeAt returns the earliest time a new Send would begin serializing.
 func (w *Wire) FreeAt() sim.Time { return w.pipe.FreeAt() }

@@ -1,0 +1,128 @@
+package phy
+
+import "testing"
+
+// TestSharedScheduleMatchesChannelStream: driving a SharedSchedule with
+// the grant-then-per-unit policy consumes exactly the stream a bare
+// Channel consumes unit-by-unit — same flip counts per unit, same
+// residual, same RNG draws — whenever the policy's consumption order is
+// unit-sequential (one traversal at a time).
+func TestSharedScheduleMatchesChannelStream(t *testing.T) {
+	const unit = 2048
+	const hops = 5
+	const traversals = 4000
+	for _, ber := range []float64{1e-4, 1e-5, 5e-6} {
+		s := NewSharedSchedule(ber, 0.4, NewRNG(7), unit)
+		ref := NewChannel(ber, 0.4, NewRNG(7))
+
+		for i := 0; i < traversals; i++ {
+			var want [hops]int
+			for h := 0; h < hops; h++ {
+				want[h] = ref.Traverse(unit)
+			}
+			if s.Begin(hops) {
+				for h := 0; h < hops; h++ {
+					if want[h] != 0 {
+						t.Fatalf("ber %g traversal %d: grant given but reference flips %d bits at hop %d", ber, i, want[h], h)
+					}
+				}
+				continue
+			}
+			dirty := false
+			for h := 0; h < hops; h++ {
+				var got int
+				if s.CrossClean() {
+					s.Advance()
+				} else {
+					got = s.Traverse()
+				}
+				if got != want[h] {
+					t.Fatalf("ber %g traversal %d hop %d: %d flips, reference %d", ber, i, h, got, want[h])
+				}
+				if got > 0 {
+					dirty = true
+				}
+			}
+			if !dirty {
+				t.Fatalf("ber %g traversal %d: grant refused but traversal clean", ber, i)
+			}
+		}
+		if s.Channel().BitsSeen != ref.BitsSeen || s.Channel().BitsFlipped != ref.BitsFlipped ||
+			s.Channel().ErrorEvents != ref.ErrorEvents {
+			t.Fatalf("ber %g: accounting diverged: %+v vs BitsSeen=%d BitsFlipped=%d ErrorEvents=%d",
+				ber, s.Channel(), ref.BitsSeen, ref.BitsFlipped, ref.ErrorEvents)
+		}
+	}
+}
+
+// TestSharedScheduleCorruptPlacesFlipsOnAssignedHop: a dirty traversal's
+// flips land on exactly the crossing the schedule assigns them, at the
+// same bit positions a unit-sequential Corrupt would produce.
+func TestSharedScheduleCorruptPlacesFlipsOnAssignedHop(t *testing.T) {
+	const unit = 2048
+	const hops = 3
+	s := NewSharedSchedule(2e-4, 0.4, NewRNG(21), unit)
+	ref := NewChannel(2e-4, 0.4, NewRNG(21))
+
+	dirtySeen := 0
+	for i := 0; i < 3000; i++ {
+		var want [hops][]byte
+		for h := 0; h < hops; h++ {
+			buf := make([]byte, unit/8)
+			ref.Corrupt(buf)
+			want[h] = buf
+		}
+		if s.Begin(hops) {
+			continue
+		}
+		dirtySeen++
+		for h := 0; h < hops; h++ {
+			buf := make([]byte, unit/8)
+			if s.CrossClean() {
+				s.Advance()
+			} else if s.Corrupt(buf) > 0 {
+				// flips recorded in buf
+			}
+			for b := range buf {
+				if buf[b] != want[h][b] {
+					t.Fatalf("traversal %d hop %d byte %d: %02x, reference %02x", i, h, b, buf[b], want[h][b])
+				}
+			}
+		}
+	}
+	if dirtySeen == 0 {
+		t.Fatal("no dirty traversal exercised")
+	}
+}
+
+// TestSharedScheduleZeroBER: a clean channel grants every traversal and
+// still accounts bits.
+func TestSharedScheduleZeroBER(t *testing.T) {
+	s := NewSharedSchedule(0, 0, NewRNG(1), 2048)
+	for i := 0; i < 10; i++ {
+		if !s.Begin(7) {
+			t.Fatal("zero-BER schedule refused a grant")
+		}
+	}
+	if s.Channel().BitsSeen != 10*7*2048 {
+		t.Fatalf("BitsSeen %d", s.Channel().BitsSeen)
+	}
+}
+
+// TestSharedScheduleGuards pins the constructor and Begin panics.
+func TestSharedScheduleGuards(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"unit": func() { NewSharedSchedule(1e-6, 0, NewRNG(1), 0) },
+		"hops": func() { NewSharedSchedule(1e-6, 0, NewRNG(1), 8).Begin(0) },
+		"buf":  func() { NewSharedSchedule(1e-6, 0, NewRNG(1), 16).Corrupt(make([]byte, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -104,6 +104,40 @@ func (c *Client) Get(ctx context.Context, id string) (JobView, error) {
 	return v, err
 }
 
+// GetConditional fetches a job's view unless the caller's cached copy is
+// still current: etag is the ETag header of a previous fetch (the job's
+// content address). notModified=true means the daemon answered 304 and
+// the cached copy — result bytes included — is valid; the returned view
+// is zero in that case. The ETag of the fresh response (empty until the
+// job is done) comes back for the caller to store.
+func (c *Client) GetConditional(ctx context.Context, id, etag string) (v JobView, newETag string, notModified bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return v, "", false, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return v, "", false, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotModified:
+		return v, etag, true, nil
+	case resp.StatusCode >= 300:
+		var ae apiError
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		return v, "", false, &apiStatusError{Code: resp.StatusCode, Message: msg}
+	}
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	return v, resp.Header.Get("ETag"), false, err
+}
+
 // Wait long-polls until the job reaches a terminal status or ctx ends.
 func (c *Client) Wait(ctx context.Context, id string) (JobView, error) {
 	for {

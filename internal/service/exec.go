@@ -6,9 +6,18 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/link"
 	"repro/internal/reliability"
 	"repro/internal/runner"
 )
+
+// ProtocolResult is one variant of a comparison job's result document,
+// in the fixed core.Protocols presentation order — a slice, not the
+// library's map, so the marshalled bytes are canonical.
+type ProtocolResult struct {
+	Protocol string      `json:"protocol"`
+	Result   core.Result `json:"result"`
+}
 
 // execute runs a normalized spec on a runner pool sized to the
 // scheduler's grant and returns the result document. The bytes are what
@@ -29,6 +38,20 @@ func execute(ctx context.Context, spec JobSpec, pool runner.Pool) (json.RawMessa
 	case KindRare:
 		r := spec.Rare
 		v, err = reliability.RareSweep(ctx, pool, r.BERs, r.Proposal, r.RelErr, r.MaxTrials, r.Shards)
+	case KindComparison:
+		c := spec.Comparison
+		var byProto map[link.Protocol]core.Result
+		byProto, err = core.RunComparisonPool(ctx, pool, c.Base, c.N)
+		if err == nil {
+			ordered := make([]ProtocolResult, 0, len(core.Protocols))
+			for _, p := range core.Protocols {
+				ordered = append(ordered, ProtocolResult{Protocol: p.String(), Result: byProto[p]})
+			}
+			v = ordered
+		}
+	case KindRareSelfCheck:
+		r := spec.RareSelfCheck
+		v, err = reliability.RareSelfCheck(ctx, pool, r.BERs, r.Flits, r.Shards)
 	default:
 		// Normalize rejects unknown kinds before jobs reach the queue.
 		err = fmt.Errorf("service: unknown job kind %q", spec.Kind)

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -442,7 +443,48 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if v.Status.Terminal() {
 		status = http.StatusOK
 	}
+	writeJobView(w, r, v, status)
+}
+
+// writeJobView writes a job view, attaching cache-validation headers when
+// the job carries a result: the ETag is the job's content address (the
+// SHA-256 cache key), which by the engines' determinism is also the
+// identity of the result bytes. A conditional GET whose If-None-Match
+// covers that address short-circuits to 304 with no body — repeat
+// watchers of finished jobs stop re-downloading result documents. Only
+// GET/HEAD evaluate the precondition (RFC 9110 §13.1.2): a submit
+// response must always carry its body, or the caller loses the job ID.
+func writeJobView(w http.ResponseWriter, r *http.Request, v JobView, status int) {
+	if v.Status == StatusDone && v.Key != "" {
+		etag := `"` + v.Key + `"`
+		w.Header().Set("ETag", etag)
+		if (r.Method == http.MethodGet || r.Method == http.MethodHead) &&
+			etagMatches(r.Header.Get("If-None-Match"), etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
 	writeJSON(w, status, v)
+}
+
+// etagMatches implements the weak-comparison If-None-Match rules the 304
+// path needs: a literal list of (possibly W/-prefixed) quoted tags, or
+// the wildcard.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -462,7 +504,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		}
 		waitTerminal(r.Context(), j, time.Duration(ms)*time.Millisecond)
 	}
-	writeJSON(w, http.StatusOK, j.View())
+	writeJobView(w, r, j.View(), http.StatusOK)
 }
 
 // waitTerminal long-polls the job's event broker until the log is

@@ -68,6 +68,12 @@ const (
 	// KindRare runs the deep-tail rare-event estimation (FER, FER_UC,
 	// FER_UD per BER) with importance sampling (reliability.RareSweep).
 	KindRare = "rare"
+	// KindComparison runs the same workload across all three protocol
+	// variants (core.RunComparisonPool) — the CXL-vs-RXL tables.
+	KindComparison = "comparison"
+	// KindRareSelfCheck cross-validates the importance-sampling machinery
+	// against naive schedule Monte-Carlo (reliability.RareSelfCheck).
+	KindRareSelfCheck = "rare-selfcheck"
 )
 
 // SweepSpec parameterizes a KindSweep job.
@@ -95,8 +101,30 @@ type RareSpec struct {
 	Shards int `json:"shards,omitempty"`
 }
 
-// JobSpec is the wire form of a job submission. Exactly one of Grid,
-// Sweep, Rare must be set, matching Kind. Scheduling fields (Priority,
+// ComparisonSpec parameterizes a KindComparison job.
+type ComparisonSpec struct {
+	// Base is the fabric configuration shared by the three variants. Its
+	// Protocol and LinkConfig fields are ignored — the comparison engine
+	// overrides both per variant — and are normalized away so they cannot
+	// split the cache key.
+	Base core.Config `json:"base"`
+	// N is the number of line-rate payloads offered per variant.
+	N int `json:"n"`
+}
+
+// RareSelfCheckSpec parameterizes a KindRareSelfCheck job.
+type RareSelfCheckSpec struct {
+	// BERs are the operating points where IS and naive Monte-Carlo both
+	// converge (1e-6..1e-7 territory).
+	BERs []float64 `json:"bers"`
+	// Flits is the naive-side trial budget per BER (0 = 2^21).
+	Flits int `json:"flits,omitempty"`
+	// Shards splits each measurement (0 = reliability.DefaultShards).
+	Shards int `json:"shards,omitempty"`
+}
+
+// JobSpec is the wire form of a job submission. Exactly one payload
+// field must be set, matching Kind. Scheduling fields (Priority,
 // TimeoutMS, Workers) steer the queue but are excluded from the cache
 // key: they can change when a job runs and with how many workers, but —
 // by the runner's determinism invariant — never what it computes.
@@ -123,6 +151,10 @@ type JobSpec struct {
 	Sweep *SweepSpec `json:"sweep,omitempty"`
 	// Rare is the KindRare payload.
 	Rare *RareSpec `json:"rare,omitempty"`
+	// Comparison is the KindComparison payload.
+	Comparison *ComparisonSpec `json:"comparison,omitempty"`
+	// RareSelfCheck is the KindRareSelfCheck payload.
+	RareSelfCheck *RareSelfCheckSpec `json:"rare_selfcheck,omitempty"`
 }
 
 // Normalize validates the spec and fills every defaulted field with its
@@ -141,8 +173,14 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	if s.Rare != nil {
 		n++
 	}
+	if s.Comparison != nil {
+		n++
+	}
+	if s.RareSelfCheck != nil {
+		n++
+	}
 	if n != 1 {
-		return s, fmt.Errorf("service: spec needs exactly one of grid/sweep/rare, got %d", n)
+		return s, fmt.Errorf("service: spec needs exactly one of grid/sweep/rare/comparison/rare_selfcheck, got %d", n)
 	}
 	switch s.Kind {
 	case KindGrid:
@@ -205,8 +243,45 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 			r.Shards = reliability.DefaultShards
 		}
 		s.Rare = &r
+	case KindComparison:
+		if s.Comparison == nil {
+			return s, fmt.Errorf("service: kind %q needs a comparison payload", s.Kind)
+		}
+		c := *s.Comparison
+		if c.N <= 0 {
+			return s, fmt.Errorf("service: comparison needs n > 0 payloads")
+		}
+		// Protocol and LinkConfig are overridden per variant by the
+		// comparison engine; normalize them away so two specs that differ
+		// only in ignored fields share one cache entry.
+		c.Base.Protocol = 0
+		c.Base.LinkConfig = nil
+		if err := c.Base.Validate(); err != nil {
+			return s, err
+		}
+		s.Comparison = &c
+	case KindRareSelfCheck:
+		if s.RareSelfCheck == nil {
+			return s, fmt.Errorf("service: kind %q needs a rare_selfcheck payload", s.Kind)
+		}
+		r := *s.RareSelfCheck
+		if len(r.BERs) == 0 {
+			return s, fmt.Errorf("service: rare_selfcheck needs at least one BER")
+		}
+		for _, ber := range r.BERs {
+			if ber <= 0 || ber >= 1 {
+				return s, fmt.Errorf("service: rare_selfcheck BER %g out of (0,1)", ber)
+			}
+		}
+		if r.Flits <= 0 {
+			r.Flits = 1 << 21
+		}
+		if r.Shards <= 0 {
+			r.Shards = reliability.DefaultShards
+		}
+		s.RareSelfCheck = &r
 	default:
-		return s, fmt.Errorf("service: unknown job kind %q (want grid, sweep, or rare)", s.Kind)
+		return s, fmt.Errorf("service: unknown job kind %q (want grid, sweep, rare, comparison, or rare-selfcheck)", s.Kind)
 	}
 	if s.Workers < 0 {
 		s.Workers = 0
@@ -217,11 +292,13 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 // keySpec is the cache-key projection of a normalized spec: the fields
 // that determine result bytes and nothing else.
 type keySpec struct {
-	Kind  string
-	Seed  uint64
-	Grid  *core.Grid
-	Sweep *SweepSpec
-	Rare  *RareSpec
+	Kind          string
+	Seed          uint64
+	Grid          *core.Grid
+	Sweep         *SweepSpec
+	Rare          *RareSpec
+	Comparison    *ComparisonSpec    `json:",omitempty"`
+	RareSelfCheck *RareSelfCheckSpec `json:",omitempty"`
 }
 
 // Key returns the content address of a normalized spec: the hex SHA-256
@@ -230,7 +307,13 @@ type keySpec struct {
 func (s JobSpec) Key() string {
 	// Struct marshalling emits fields in declaration order with no
 	// whitespace variance, so the encoding is canonical by construction.
-	b, err := json.Marshal(keySpec{Kind: s.Kind, Seed: s.Seed, Grid: s.Grid, Sweep: s.Sweep, Rare: s.Rare})
+	// The new kinds' fields carry omitempty so specs of the original
+	// kinds keep their PR 4 canonical bytes — and therefore their cache
+	// keys, including entries already spilled to disk.
+	b, err := json.Marshal(keySpec{
+		Kind: s.Kind, Seed: s.Seed, Grid: s.Grid, Sweep: s.Sweep, Rare: s.Rare,
+		Comparison: s.Comparison, RareSelfCheck: s.RareSelfCheck,
+	})
 	if err != nil {
 		// Specs are plain data — the only marshal failures are
 		// non-finite floats, which Normalize rejects as invalid BERs.

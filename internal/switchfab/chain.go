@@ -115,6 +115,7 @@ func (c *Chain) TotalSwitchStats() Stats {
 	for _, s := range c.Switches {
 		t.FlitsIn += s.Stats.FlitsIn
 		t.Forwarded += s.Stats.Forwarded
+		t.DeliveredLocal += s.Stats.DeliveredLocal
 		t.DroppedUncorrectable += s.Stats.DroppedUncorrectable
 		t.DroppedCRC += s.Stats.DroppedCRC
 		t.DroppedNoRoute += s.Stats.DroppedNoRoute
@@ -147,16 +148,10 @@ func (x *Crossbar) SetRoute(dest byte, egress *link.Wire) { x.routes[dest] = egr
 // Ingress returns the deliver function for an ingress wire: process, then
 // route by the (possibly corrupted) destination tag. Unknown destinations
 // are dropped silently — a misrouted flit simply vanishes, exactly the
-// hazard the paper cites for forwarding erroneous flits.
+// hazard the paper cites for forwarding erroneous flits. The crossbar
+// latency is folded into the egress wire claim (Switch.Pipeline has the
+// reasoning).
 func (x *Crossbar) Ingress() func(*flit.Flit) {
-	// One stable forwarding sink for the latency path, so the per-flit
-	// schedule carries only the flit instead of allocating a closure.
-	// Routes are static after construction, so re-resolving the egress at
-	// dispatch time sees exactly the wire the ingress check saw.
-	fwd := func(p interface{}) {
-		f := p.(*flit.Flit)
-		x.forward(f, x.routes[f.Payload()[flit.RouteOffset]])
-	}
 	return func(f *flit.Flit) {
 		if !x.process(f) {
 			flit.Release(f)
@@ -168,10 +163,6 @@ func (x *Crossbar) Ingress() func(*flit.Flit) {
 			flit.Release(f)
 			return
 		}
-		if x.Latency > 0 {
-			x.Eng.ScheduleArg(x.Latency, fwd, f)
-		} else {
-			x.forward(f, egress)
-		}
+		x.forward(f, egress)
 	}
 }

@@ -2,10 +2,12 @@ package switchfab
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/flit"
 	"repro/internal/link"
 	"repro/internal/phy"
+	"repro/internal/rs"
 	"repro/internal/sim"
 )
 
@@ -21,6 +23,18 @@ import (
 // destination column, then along Y — deadlock-free and deterministic,
 // which matters because ISN requires in-order single-path delivery
 // (Section 5 rules out multi-path for CXL-class protocols).
+//
+// Error injection is schedule-driven per path, not per wire: every
+// (source, destination) pair lazily owns one phy.SharedSchedule, and a
+// flit's whole XY traversal consumes one hops-wide window of that stream.
+// At the injection wire a clean window grants the flit a path pass, so
+// every downstream router crossing skips channel work entirely; struck
+// traversals consume the stream hop by hop, landing corruption on the
+// exact crossing the schedule assigns it (where that hop's FEC
+// termination sees it). The grant policy applies identically to fast-path
+// and byte-level flits — only the per-hop byte work differs — which is
+// what keeps the two bit-identical (internal/core's mesh differential
+// suite).
 type Mesh struct {
 	W, H int
 	Eng  *sim.Engine
@@ -35,6 +49,17 @@ type Mesh struct {
 	ingress [][]*link.Wire
 
 	wires []*link.Wire
+
+	// Per-path error-event schedules, keyed src<<8|dst, created on first
+	// traffic from a dedicated RNG lineage (deterministic per seed and
+	// traffic order). nil maps mean BER 0 — no error model at all.
+	paths   map[uint16]*phy.SharedSchedule
+	pathRNG *phy.RNG
+	ber     float64
+	burst   float64
+	// fec materializes deferred seals when a schedule strikes a deferred
+	// flit mid-path.
+	fec *rs.Interleaved
 }
 
 // Mesh directions.
@@ -52,7 +77,8 @@ type MeshConfig struct {
 	Serialization sim.Time
 	Propagation   sim.Time
 	RouterLatency sim.Time
-	// BER and BurstProb configure per-wire error channels (0 = clean).
+	// BER and BurstProb configure the per-path shared error schedules
+	// (0 = clean).
 	BER       float64
 	BurstProb float64
 	Seed      uint64
@@ -76,7 +102,12 @@ func NewMesh(eng *sim.Engine, w, h int, cfg MeshConfig) *Mesh {
 		panic(fmt.Sprintf("switchfab: mesh %dx%d out of range", w, h))
 	}
 	m := &Mesh{W: w, H: h, Eng: eng}
-	rng := phy.NewRNG(cfg.Seed)
+	if cfg.BER > 0 {
+		m.paths = make(map[uint16]*phy.SharedSchedule)
+		m.pathRNG = phy.NewRNG(cfg.Seed)
+		m.ber, m.burst = cfg.BER, cfg.BurstProb
+		m.fec = flit.NewFEC()
+	}
 
 	m.Routers = make([][]*Switch, w)
 	m.out = make([][][meshDirs]*link.Wire, w)
@@ -94,32 +125,96 @@ func NewMesh(eng *sim.Engine, w, h int, cfg MeshConfig) *Mesh {
 
 	mkWire := func(deliver func(*flit.Flit)) *link.Wire {
 		wr := link.NewWire(eng, cfg.Serialization, cfg.Propagation, deliver)
-		if cfg.BER > 0 {
-			wr.Channel = phy.NewChannel(cfg.BER, cfg.BurstProb, rng.Split())
-		}
 		m.wires = append(m.wires, wr)
 		return wr
 	}
 
-	// Inter-router wires: each delivers into the neighbor's pipeline.
+	// Inter-router wires: each delivers into the neighbor's pipeline
+	// behind a hop crossing of the flit's path schedule. Node-ingress
+	// wires are the injection points where whole-path grants are taken.
 	for x := 0; x < w; x++ {
 		for y := 0; y < h; y++ {
 			if x+1 < w {
-				m.out[x][y][dirEast] = mkWire(m.routerIngress(x+1, y))
+				m.out[x][y][dirEast] = mkWire(m.hopArrival(x+1, y))
 			}
 			if x > 0 {
-				m.out[x][y][dirWest] = mkWire(m.routerIngress(x-1, y))
+				m.out[x][y][dirWest] = mkWire(m.hopArrival(x-1, y))
 			}
 			if y+1 < h {
-				m.out[x][y][dirSouth] = mkWire(m.routerIngress(x, y+1))
+				m.out[x][y][dirSouth] = mkWire(m.hopArrival(x, y+1))
 			}
 			if y > 0 {
-				m.out[x][y][dirNorth] = mkWire(m.routerIngress(x, y-1))
+				m.out[x][y][dirNorth] = mkWire(m.hopArrival(x, y-1))
 			}
-			m.ingress[x][y] = mkWire(m.routerIngress(x, y))
+			m.ingress[x][y] = mkWire(m.injectArrival(x, y))
 		}
 	}
 	return m
+}
+
+// pathKey identifies a shared schedule by the flit's routing tags. Both
+// tags sit inside the CRC-protected payload, so a corrupted tag resolves
+// the same (wrong) schedule on the fast and byte-level paths alike.
+func pathKey(src, dst byte) uint16 { return uint16(src)<<8 | uint16(dst) }
+
+// pathSched returns (creating on first use) the shared error schedule of
+// the src→dst path.
+func (m *Mesh) pathSched(src, dst byte) *phy.SharedSchedule {
+	k := pathKey(src, dst)
+	s, ok := m.paths[k]
+	if !ok {
+		s = phy.NewSharedSchedule(m.ber, m.burst, m.pathRNG.Split(), flit.Bits)
+		m.paths[k] = s
+	}
+	return s
+}
+
+// injectArrival wraps router (x,y)'s pipeline for its node-ingress wire:
+// the flit's whole traversal opens here. hops counts every wire crossing
+// of the XY route — this ingress wire plus the Manhattan distance to the
+// destination router; flits with an unroutable destination consume one
+// crossing and die at this router.
+func (m *Mesh) injectArrival(x, y int) func(*flit.Flit) {
+	pipeline := m.routerIngress(x, y)
+	if m.paths == nil {
+		return pipeline
+	}
+	return func(f *flit.Flit) {
+		src := f.Payload()[flit.SrcRouteOffset]
+		dst := f.Payload()[flit.RouteOffset]
+		hops := 1
+		if dx, dy, ok := m.nodeXY(dst); ok {
+			hops += abs(dx-x) + abs(dy-y)
+		}
+		link.BeginPathTraversal(m.pathSched(src, dst), m.fec, f, hops)
+		pipeline(f)
+	}
+}
+
+// hopArrival wraps router (x,y)'s pipeline for an inter-router wire: a
+// path pass (whole traversal pre-consumed at injection) skips channel
+// work entirely; otherwise this crossing consumes one unit of the flit's
+// path schedule.
+func (m *Mesh) hopArrival(x, y int) func(*flit.Flit) {
+	pipeline := m.routerIngress(x, y)
+	if m.paths == nil {
+		return pipeline
+	}
+	return func(f *flit.Flit) {
+		if !f.TakePathPass() {
+			src := f.Payload()[flit.SrcRouteOffset]
+			dst := f.Payload()[flit.RouteOffset]
+			link.CrossPathUnit(m.pathSched(src, dst), m.fec, f)
+		}
+		pipeline(f)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // NodeID returns the routing tag of node (x,y).
@@ -174,13 +269,28 @@ func (m *Mesh) InterRouterWire(x1, y1, x2, y2 int) *link.Wire {
 }
 
 // routerIngress builds the deliver function of router (x,y): run the
-// switch pipeline, then forward by XY dimension-ordered routing.
+// switch pipeline, then forward by XY dimension-ordered routing. The
+// router latency is folded into the egress wire claim (SendAfter), so a
+// multi-hop traversal costs one engine event per hop — the wire arrival —
+// instead of two. Local deliveries have no egress wire and keep their
+// latency event so the node still receives at arrival+Latency.
 func (m *Mesh) routerIngress(x, y int) func(*flit.Flit) {
 	r := m.Routers[x][y]
-	// One stable forwarding sink per router, so the per-flit latency
+	// One stable local-delivery sink per router, so the per-flit latency
 	// schedule carries only the flit instead of allocating a closure.
-	forward := func(p interface{}) {
+	deliverLocal := func(p interface{}) {
 		f := p.(*flit.Flit)
+		if m.locals[x][y] != nil {
+			m.locals[x][y](f)
+		} else {
+			flit.Release(f)
+		}
+	}
+	return func(f *flit.Flit) {
+		if !r.process(f) {
+			flit.Release(f)
+			return
+		}
 		dx, dy, ok := m.nodeXY(f.Payload()[flit.RouteOffset])
 		switch {
 		case !ok:
@@ -195,23 +305,16 @@ func (m *Mesh) routerIngress(x, y int) func(*flit.Flit) {
 		case dy < y:
 			m.forwardTo(r, f, m.out[x][y][dirNorth])
 		default:
-			r.Stats.Forwarded++
-			if m.locals[x][y] != nil {
-				m.locals[x][y](f)
+			// Local delivery is accounted on its own: counting it as a
+			// forward inflated TotalStats().Forwarded by one per delivered
+			// flit relative to the flit's actual inter-router hops (see
+			// the per-hop audit in internal/core's mesh stats test).
+			r.Stats.DeliveredLocal++
+			if r.Latency > 0 {
+				m.Eng.ScheduleArg(r.Latency, deliverLocal, f)
 			} else {
-				flit.Release(f)
+				deliverLocal(f)
 			}
-		}
-	}
-	return func(f *flit.Flit) {
-		if !r.process(f) {
-			flit.Release(f)
-			return
-		}
-		if r.Latency > 0 {
-			m.Eng.ScheduleArg(r.Latency, forward, f)
-		} else {
-			forward(f)
 		}
 	}
 }
@@ -223,7 +326,7 @@ func (m *Mesh) forwardTo(r *Switch, f *flit.Flit, w *link.Wire) {
 		return
 	}
 	r.Stats.Forwarded++
-	w.Send(f)
+	w.SendAfter(f, m.Eng.Now()+r.Latency)
 }
 
 // TotalStats sums statistics across every router.
@@ -233,6 +336,7 @@ func (m *Mesh) TotalStats() Stats {
 		for _, r := range col {
 			t.FlitsIn += r.Stats.FlitsIn
 			t.Forwarded += r.Stats.Forwarded
+			t.DeliveredLocal += r.Stats.DeliveredLocal
 			t.DroppedUncorrectable += r.Stats.DroppedUncorrectable
 			t.DroppedCRC += r.Stats.DroppedCRC
 			t.DroppedNoRoute += r.Stats.DroppedNoRoute
@@ -242,6 +346,37 @@ func (m *Mesh) TotalStats() Stats {
 		}
 	}
 	return t
+}
+
+// PathStat is the channel accounting of one source→destination shared
+// schedule.
+type PathStat struct {
+	Src, Dst                                         byte
+	BitsSeen, BitsFlipped, ErrorEvents, UnitsTouched uint64
+}
+
+// PathStats snapshots every path schedule's accounting, ordered by
+// (src, dst) — the mesh-level analogue of reading each wire's Channel
+// stats, used by the fast-vs-slow differential suite.
+func (m *Mesh) PathStats() []PathStat {
+	if m.paths == nil {
+		return nil
+	}
+	keys := make([]int, 0, len(m.paths))
+	for k := range m.paths {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	out := make([]PathStat, 0, len(keys))
+	for _, k := range keys {
+		ch := m.paths[uint16(k)].Channel()
+		out = append(out, PathStat{
+			Src: byte(k >> 8), Dst: byte(k),
+			BitsSeen: ch.BitsSeen, BitsFlipped: ch.BitsFlipped,
+			ErrorEvents: ch.ErrorEvents, UnitsTouched: ch.UnitsTouched,
+		})
+	}
+	return out
 }
 
 // MeshNode bundles the per-flow link peers of one mesh node: one peer per

@@ -52,7 +52,8 @@ func (m Mode) String() string {
 // Stats counts per-switch events.
 type Stats struct {
 	FlitsIn              uint64
-	Forwarded            uint64
+	Forwarded            uint64 // flits sent onward to another hop
+	DeliveredLocal       uint64 // mesh routers: flits handed to the attached node
 	DroppedUncorrectable uint64 // FEC-detected, silently discarded
 	DroppedCRC           uint64 // ModeCXL only: link CRC failures discarded
 	DroppedNoRoute       uint64 // crossbar: unknown destination
@@ -105,26 +106,25 @@ func (s *Switch) SeedInternalFaults(prob float64, rng *phy.RNG) {
 // Pipeline returns the ingress function for one direction, forwarding
 // processed flits onto egress. Use it as the deliver callback of the
 // ingress wire.
+//
+// The ingress-to-egress latency is folded into the egress wire claim
+// (SendAfter): the flit's serialization starts no earlier than
+// arrival+Latency, which lands it downstream at exactly the time a
+// separate forward event would — without scheduling that event. Per-hop
+// event count is what the multi-hop fabrics pay the engine for.
 func (s *Switch) Pipeline(egress *link.Wire) func(*flit.Flit) {
-	// One forwarding thunk per direction, so the per-flit latency
-	// schedule carries only the flit as payload instead of a closure.
-	fwd := func(x interface{}) { s.forward(x.(*flit.Flit), egress) }
 	return func(f *flit.Flit) {
 		if !s.process(f) {
 			flit.Release(f)
 			return
 		}
-		if s.Latency > 0 {
-			s.Eng.ScheduleArg(s.Latency, fwd, f)
-		} else {
-			s.forward(f, egress)
-		}
+		s.forward(f, egress)
 	}
 }
 
 func (s *Switch) forward(f *flit.Flit, egress *link.Wire) {
 	s.Stats.Forwarded++
-	egress.Send(f)
+	egress.SendAfter(f, s.Eng.Now()+s.Latency)
 }
 
 // process runs the ingress/egress pipeline on f in place. It returns false

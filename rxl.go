@@ -150,6 +150,19 @@ type Reliability = reliability.Params
 // flits, FER_UC 3e-5, p_coalescing 0.1, 500M flits/s).
 func DefaultReliability() Reliability { return reliability.DefaultParams() }
 
+// PathFERSample is a multi-hop Monte-Carlo flit error rate measurement:
+// the probability that a flit is struck on any crossing of an H-hop
+// mesh/chain path, measured on the shared error-event schedule.
+type PathFERSample = reliability.PathFERSample
+
+// MeasurePathFER estimates the H-hop path flit error rate on the shared
+// error-event schedule, bulk-advancing whole clean traversals — the
+// mesh-aware generalization of the single-link schedule Monte Carlo,
+// bit-identical to the per-hop byte-level reference for equal seeds.
+func MeasurePathFER(ber float64, hops, flits int, seed uint64) PathFERSample {
+	return reliability.MeasureFERPathSchedule(ber, hops, flits, seed)
+}
+
 // Fig8Point is one switching level of the Fig. 8 FIT comparison.
 type Fig8Point = reliability.Point
 
@@ -252,63 +265,66 @@ func DefaultHardwareReport() HardwareReport { return hwcost.DefaultReport() }
 // MeshNode is one endpoint of a NoC, managing a link peer per remote node.
 type MeshNode = switchfab.MeshNode
 
+// MeshFlow is one unidirectional stream of a mesh workload, identified by
+// source and destination node coordinates.
+type MeshFlow = core.MeshFlow
+
+// MeshResult is the accounting of a mesh workload run: per-flow failure
+// taxonomy, endpoint link statistics, router totals, and per-path channel
+// accounting.
+type MeshResult = core.MeshResult
+
 // NoC is a W×H 2D-mesh Network-on-Chip with XY routing — the paper's
 // future-work extension of ISN beyond scale-out fabrics (Section 8).
 // Every router terminates FEC per hop; under RXL the ISN-bearing CRC
-// passes through end to end.
+// passes through end to end. Error injection is schedule-driven per
+// source→destination path (one shared error-event schedule consumed
+// end-to-end, whole-path grants at the injection wire), so clean
+// multi-hop traversals cost one schedule consultation instead of one per
+// hop.
 type NoC struct {
 	// Eng is the discrete-event engine driving the mesh.
 	Eng *sim.Engine
 	// Mesh exposes the routers and wires for fault injection.
 	Mesh *switchfab.Mesh
 
-	proto      Protocol
-	noFastPath bool
-	nodes      map[[2]int]*MeshNode
+	fab *core.MeshFabric
 }
 
 // NewNoC builds a w×h mesh NoC. The Config supplies protocol, BER/burst,
-// and seed; Levels and switch-specific fields are ignored.
+// seed, timing overrides, and NoFastPath; Levels and switch-specific
+// fields are ignored.
 func NewNoC(w, h int, cfg Config) (*NoC, error) {
-	if err := cfg.Validate(); err != nil {
+	fab, err := core.NewMeshFabric(cfg, w, h)
+	if err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
-	mode := switchfab.ModeCXL
-	if cfg.Protocol == RXL {
-		mode = switchfab.ModeRXL
-	}
-	mc := switchfab.DefaultMeshConfig(mode)
-	mc.BER = cfg.BER
-	mc.BurstProb = cfg.BurstProb
-	mc.Seed = cfg.Seed
-	return &NoC{
-		Eng:        eng,
-		Mesh:       switchfab.NewMesh(eng, w, h, mc),
-		proto:      cfg.Protocol,
-		noFastPath: cfg.NoFastPath,
-		nodes:      make(map[[2]int]*MeshNode),
-	}, nil
+	return &NoC{Eng: fab.Eng, Mesh: fab.Mesh, fab: fab}, nil
 }
 
 // Node returns (creating on first use) the endpoint at mesh position
 // (x,y).
-func (n *NoC) Node(x, y int) *MeshNode {
-	key := [2]int{x, y}
-	if nd, ok := n.nodes[key]; ok {
-		return nd
-	}
-	lcfg := link.DefaultConfig(n.proto)
-	if n.noFastPath {
-		lcfg.FastPath = false
-	}
-	nd := switchfab.NewMeshNode(n.Mesh, x, y, lcfg)
-	n.nodes[key] = nd
-	return nd
-}
+func (n *NoC) Node(x, y int) *MeshNode { return n.fab.Node(x, y) }
 
 // Run drains the event queue.
-func (n *NoC) Run() { n.Eng.Run() }
+func (n *NoC) Run() { n.fab.Run() }
+
+// RunWorkload drives nPayloads through each flow simultaneously and
+// returns the full accounting — the one-call mesh experiment behind the
+// multi-hop benchmarks and differential tests.
+func (n *NoC) RunWorkload(flows []MeshFlow, nPayloads int) MeshResult {
+	return n.fab.RunWorkload(flows, nPayloads)
+}
+
+// Engine is the discrete-event scheduler driving every fabric: a
+// two-lane queue (monotone FIFO ring + out-of-order heap) drained by a
+// bulk-advance pump that jumps the clock across stretches with no
+// pending events. Fabrics build their own; expose it here for custom
+// scenario scripting and engine-level benchmarks.
+type Engine = sim.Engine
+
+// NewEngine returns an engine at time 0 with an empty queue.
+func NewEngine() *Engine { return sim.NewEngine() }
 
 // Time is a simulation timestamp in picoseconds.
 type Time = sim.Time
