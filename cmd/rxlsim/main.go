@@ -18,12 +18,22 @@
 // flags (-proto, -levels, -burst, -internal, -n, -compare, -reps, -csv)
 // conflict with it and are rejected.
 //
+// With -scan the single experiment is replaced by a scenario regression
+// sweep: a built-in grid of protocol × topology (mesh and torus) ×
+// workload (uniform, zipf hot-spot, transpose) × scripted fault campaign
+// (none, lane degrade, BER storm, link flap) is run cell by cell through
+// the fast-path/byte-level differential, and every configuration whose
+// two runs diverge — or whose RXL delivery is not exactly-once — is
+// reported as a regression (non-zero exit). -ber, -burst, -seed, and
+// -scan-n parameterize the grid; the single-experiment flags conflict.
+//
 // Usage:
 //
 //	rxlsim [-proto rxl|cxl|cxl-nopb] [-levels 1] [-ber 1e-6] [-n 100000]
 //	       [-seed 1] [-burst 0.4] [-internal 0] [-compare]
 //	       [-reps 1] [-workers 0] [-csv out.csv]
 //	       [-rare] [-proposal-ber 0] [-rel-err 0.1]
+//	       [-scan] [-scan-n 60]
 package main
 
 import (
@@ -67,10 +77,41 @@ func main() {
 	rare := flag.Bool("rare", false, "estimate rare-event deep tails at -ber instead of running the live simulation")
 	proposal := flag.Float64("proposal-ber", 0, "importance-sampling proposal BER (0 = variance-optimal auto)")
 	relErr := flag.Float64("rel-err", 0.1, "target relative error for the rare-event estimates")
+	scan := flag.Bool("scan", false, "sweep the built-in scenario grid (topologies × workloads × fault campaigns) through the fast/byte-level differential and report regressions")
+	scanN := flag.Int("scan-n", 60, "payloads per flow for each -scan cell")
 	flag.Parse()
 
 	ctx := context.Background()
 	pool := runner.Pool{Workers: *workers, BaseSeed: *seed}
+
+	if *scan {
+		// Scan mode runs the built-in scenario grid differentially: the
+		// single-experiment flags select things the grid enumerates for
+		// itself, and -csv is unsupported (the sweep tool's -scenarios
+		// stage exports scenario CSV), so setting one is a contradiction.
+		var conflict []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "proto", "levels", "internal", "n", "compare", "reps", "csv",
+				"rare", "proposal-ber", "rel-err":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			fmt.Fprintf(os.Stderr, "rxlsim: %s do(es) not apply with -scan: the scan verb enumerates protocols, topologies, workloads, and fault campaigns itself\n",
+				strings.Join(conflict, ", "))
+			os.Exit(2)
+		}
+		regressions, err := runScan(ctx, pool, scanGrid(*ber, *burst, *seed, *scanN), os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *rare {
 		// Rare mode estimates the per-link iid error process analytically
@@ -80,7 +121,8 @@ func main() {
 		var conflict []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "proto", "levels", "burst", "internal", "n", "compare", "reps", "csv":
+			case "proto", "levels", "burst", "internal", "n", "compare", "reps", "csv",
+				"scan-n":
 				conflict = append(conflict, "-"+f.Name)
 			}
 		})

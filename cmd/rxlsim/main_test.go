@@ -1,9 +1,14 @@
 package main
 
 import (
+	"context"
+	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/link"
+	"repro/internal/runner"
+	"repro/internal/workload"
 )
 
 func TestParseProto(t *testing.T) {
@@ -26,5 +31,68 @@ func TestParseProto(t *testing.T) {
 		if !c.ok && err == nil {
 			t.Errorf("parseProto(%q) accepted", c.in)
 		}
+	}
+}
+
+// TestRunScanTinyGrid drives the scan verb over a reduced grid: every
+// cell must come back OK (the differential suite pins these operating
+// points), the report must cover the full enumeration, and the output
+// must be identical at any worker count.
+func TestRunScanTinyGrid(t *testing.T) {
+	g := core.ScenarioGrid{
+		Base:      core.Config{BER: 1e-5, BurstProb: 0.4, Seed: 3},
+		Protocols: []link.Protocol{link.ProtocolRXL},
+		Topologies: []core.Topology{
+			{Kind: core.TopoMesh, W: 2, H: 2},
+			{Kind: core.TopoTorus, W: 3, H: 3},
+		},
+		Workloads: []workload.Spec{
+			{Kind: workload.KindUniform, Flows: 3},
+			{Kind: workload.KindTranspose},
+		},
+		Faults: []core.FaultScript{
+			{Kind: core.FaultNone},
+			{Kind: core.FaultFlap, StartNS: 150, DurationNS: 120, Flaps: 2, PeriodNS: 400},
+		},
+		N: 30,
+	}
+	var out strings.Builder
+	regressions, err := runScan(context.Background(), runner.Pool{Workers: 2, BaseSeed: 3}, g, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("tiny scan grid regressed:\n%s", out.String())
+	}
+	// 1 protocol × 2 topologies × 2 workloads × 2 faults.
+	if want := "scan: 8/8 cells OK, 0 regressions"; !strings.Contains(out.String(), want) {
+		t.Fatalf("scan summary missing %q:\n%s", want, out.String())
+	}
+
+	var other strings.Builder
+	if _, err := runScan(context.Background(), runner.Pool{Workers: 1, BaseSeed: 3}, g, &other); err != nil {
+		t.Fatal(err)
+	}
+	if other.String() != out.String() {
+		t.Fatal("scan report depends on worker count")
+	}
+}
+
+// TestRunScanRejectsBadGrid: grid validation surfaces as an error, not a
+// partial report.
+func TestRunScanRejectsBadGrid(t *testing.T) {
+	if _, err := runScan(context.Background(), runner.Pool{}, core.ScenarioGrid{N: 5}, &strings.Builder{}); err == nil {
+		t.Fatal("axis-less grid scanned without error")
+	}
+	// A grid whose cells all fail to build (BER 2 is not a probability)
+	// reports every cell as a regression rather than aborting the sweep.
+	g := scanGrid(2, 0.4, 1, 10)
+	var out strings.Builder
+	regressions, err := runScan(context.Background(), runner.Pool{}, g, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions == 0 {
+		t.Fatalf("invalid-BER grid scanned clean:\n%s", out.String())
 	}
 }

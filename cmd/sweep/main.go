@@ -3,8 +3,10 @@
 // FIT sweep, the Section 7.2 bandwidth table, the Section 7.3 hardware
 // cost, the deterministic Fig. 4/5 failure scenarios, the Monte-Carlo
 // cross-checks backing the analytic model, a parallel protocol ×
-// levels × BER grid of live simulations, and (with -rare) the rare-event
-// deep-tail estimation with importance sampling and multilevel splitting.
+// levels × BER grid of live simulations, (with -scenarios) a scenario
+// grid spanning mesh/torus topologies, workload generators, and scripted
+// fault campaigns, and (with -rare) the rare-event deep-tail estimation
+// with importance sampling and multilevel splitting.
 // Its output is the source of EXPERIMENTS.md:
 //
 //	go run ./cmd/sweep -rare > EXPERIMENTS.md
@@ -21,6 +23,7 @@
 // Usage:
 //
 //	sweep [-mc] [-n 20000] [-workers 0] [-grid] [-csv grid.csv] [-json grid.json]
+//	      [-scenarios] [-scenario-csv scenarios.csv]
 //	      [-rare] [-proposal-ber 0] [-rel-err 0.1]
 package main
 
@@ -37,20 +40,23 @@ import (
 	"repro/internal/perf"
 	"repro/internal/reliability"
 	"repro/internal/runner"
+	"repro/internal/workload"
 )
 
 // options collects the flag values so run stays a pure function of its
 // inputs — testable, and with a single error path to the exit code.
 type options struct {
-	mc       bool
-	grid     bool
-	rare     bool
-	n        int
-	workers  int
-	csvPath  string
-	jsonPath string
-	proposal float64
-	relErr   float64
+	mc        bool
+	grid      bool
+	rare      bool
+	scenarios bool
+	n         int
+	workers   int
+	csvPath   string
+	jsonPath  string
+	scenCSV   string
+	proposal  float64
+	relErr    float64
 }
 
 func main() {
@@ -58,6 +64,8 @@ func main() {
 	flag.BoolVar(&opt.mc, "mc", true, "run the Monte-Carlo cross-checks")
 	flag.BoolVar(&opt.grid, "grid", true, "run the parallel protocol × levels × BER grid")
 	flag.BoolVar(&opt.rare, "rare", false, "run the rare-event deep-tail estimation (IS + splitting)")
+	flag.BoolVar(&opt.scenarios, "scenarios", false, "run the scenario grid: topology × workload × fault campaigns")
+	flag.StringVar(&opt.scenCSV, "scenario-csv", "", "export the scenario results as CSV to this path")
 	flag.IntVar(&opt.n, "n", 20000, "payloads per live simulation")
 	flag.IntVar(&opt.workers, "workers", 0, "runner worker pool size (0 = GOMAXPROCS)")
 	flag.StringVar(&opt.csvPath, "csv", "", "export the grid results as CSV to this path")
@@ -152,10 +160,73 @@ func run(ctx context.Context, opt options, w io.Writer) error {
 			return err
 		}
 	}
+	if opt.scenarios {
+		if err := runScenarios(ctx, pool, opt, w); err != nil {
+			return err
+		}
+	}
 	if opt.rare {
 		if err := runRare(ctx, pool, opt, w); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runScenarios runs the scenario grid — protocol × topology (mesh and
+// torus) × workload generator × scripted fault campaign — on the worker
+// pool and reports per-cell delivery accounting. The grid mirrors the
+// differential suite's operating points, so every line it prints is a
+// configuration the fast/byte-level equivalence tests pin.
+func runScenarios(ctx context.Context, pool runner.Pool, opt options, w io.Writer) error {
+	header(w, "Scenario grid — topology × workload × fault campaigns")
+	g := core.ScenarioGrid{
+		Base:      core.Config{BER: 1e-5, BurstProb: 0.4, Seed: 7},
+		Protocols: core.Protocols,
+		Topologies: []core.Topology{
+			{Kind: core.TopoMesh, W: 4, H: 4},
+			{Kind: core.TopoTorus, W: 4, H: 4},
+		},
+		Workloads: []workload.Spec{
+			{Kind: workload.KindUniform, Flows: 6},
+			{Kind: workload.KindZipf, Flows: 6, Skew: 1.5},
+			{Kind: workload.KindTranspose},
+			{Kind: workload.KindSingleSink, SinkX: 1, SinkY: 1, Flows: 5},
+		},
+		Faults: []core.FaultScript{
+			{Kind: core.FaultNone},
+			{Kind: core.FaultStorm, StartNS: 150, DurationNS: 250, Factor: 20},
+			{Kind: core.FaultFlap, StartNS: 150, DurationNS: 120, Flaps: 2, PeriodNS: 400},
+		},
+		N: max(1, opt.n/100),
+	}
+	res, err := core.RunScenarioGrid(ctx, pool, g)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(%d cells × %d payloads/flow, sharded across the worker pool)\n", len(res), g.N)
+	fmt.Fprintf(w, "%-9s %-9s %-22s %-22s %9s %9s %7s %6s %10s\n",
+		"protocol", "topology", "workload", "fault", "offered", "delivered", "missing", "drops", "hook_drops")
+	for _, r := range res {
+		var del, missing, offered int
+		for i, fc := range r.Result.PerFlow {
+			del += fc.Delivered
+			missing += fc.Missing
+			if r.Result.PerFlowOffered != nil {
+				offered += r.Result.PerFlowOffered[i]
+			} else {
+				offered += r.Result.Offered
+			}
+		}
+		fmt.Fprintf(w, "%-9s %-9s %-22s %-22s %9d %9d %7d %6d %10d\n",
+			r.Result.Cfg.Protocol, r.Topology.Name(), r.Workload.Name(), r.Fault.Name(),
+			offered, del, missing, r.Result.Routers.DroppedUncorrectable, r.Result.HookDropped)
+	}
+	if opt.scenCSV != "" {
+		if err := runner.SaveCSV(opt.scenCSV, core.ScenarioCSVHeader(), core.ScenarioResultRows(res)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "scenario CSV written to %s\n", opt.scenCSV)
 	}
 	return nil
 }

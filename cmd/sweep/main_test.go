@@ -34,4 +34,25 @@ func TestRunRareSectionOptIn(t *testing.T) {
 	if !strings.Contains(plain.String(), "Section 7.1") {
 		t.Fatal("report missing the Section 7.1 header")
 	}
+	if strings.Contains(plain.String(), "Scenario grid") {
+		t.Fatal("scenario section printed without -scenarios")
+	}
+}
+
+// TestRunScenariosSectionOptIn: -scenarios adds the scenario-grid
+// section covering both topologies and every fault-campaign kind.
+func TestRunScenariosSectionOptIn(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), options{n: 2000, scenarios: true}, &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"Scenario grid", "mesh4x4", "torus4x4",
+		"storm(x20@150+250ns)", "flap(2x120ns/400ns)", "zipf(s=1.5,n=6)",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("scenario report missing %q", want)
+		}
+	}
 }

@@ -33,6 +33,12 @@ type MeshFabric struct {
 
 // NewMeshFabric builds a w×h mesh fabric from the configuration.
 func NewMeshFabric(cfg Config, w, h int) (*MeshFabric, error) {
+	return newMeshFabric(cfg, w, h, false)
+}
+
+// newMeshFabric is the shared constructor behind NewMeshFabric and
+// NewTopologyFabric; wrap selects torus wiring.
+func newMeshFabric(cfg Config, w, h int, wrap bool) (*MeshFabric, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -47,6 +53,7 @@ func NewMeshFabric(cfg Config, w, h int) (*MeshFabric, error) {
 	mc.BER = cfg.BER
 	mc.BurstProb = cfg.BurstProb
 	mc.Seed = cfg.Seed
+	mc.Wrap = wrap
 	if cfg.Serialization > 0 {
 		mc.Serialization = cfg.Serialization
 	}
@@ -128,13 +135,19 @@ type MeshResult struct {
 	Cfg     Config
 	W, H    int
 	Flows   []MeshFlow
-	Offered int // payloads injected per flow
+	Offered int // payloads injected per flow (the maximum, when weighted)
+	// PerFlowOffered is the per-flow payload count of weighted workloads
+	// (trace-driven replay); nil when every flow offered the same count.
+	PerFlowOffered []int
 
 	PerFlow          []FailureCounts
 	TxStats, RxStats []link.Stats
 	Routers          switchfab.Stats
 	Paths            []switchfab.PathStat
-	Elapsed          sim.Time
+	// HookDropped counts flits silently dropped by scripted fault hooks
+	// (link-flap campaigns) across every wire.
+	HookDropped uint64
+	Elapsed     sim.Time
 }
 
 // Clean reports whether every flow delivered exactly-once, in-order, and
@@ -174,23 +187,57 @@ func (m *MeshFabric) RunWorkload(flows []MeshFlow, n int) MeshResult {
 	if n <= 0 {
 		panic("core: mesh workload needs n > 0")
 	}
+	res := m.runWorkload(flows, nil, n)
+	res.PerFlowOffered = nil // uniform runs keep the legacy result shape
+	return res
+}
+
+// RunWeighted is RunWorkload with a per-flow payload count — the
+// trace-driven replay shape, where recorded flows carry different
+// volumes. Submissions stay round-robin across flows still offering, so
+// the congestion interleaving matches RunWorkload's for uniform counts.
+func (m *MeshFabric) RunWeighted(flows []MeshFlow, counts []int) MeshResult {
+	if len(counts) != len(flows) {
+		panic("core: mesh workload counts must match flows")
+	}
+	maxN := 0
+	for _, c := range counts {
+		if c <= 0 {
+			panic("core: mesh workload needs every count > 0")
+		}
+		if c > maxN {
+			maxN = c
+		}
+	}
+	return m.runWorkload(flows, counts, maxN)
+}
+
+func (m *MeshFabric) runWorkload(flows []MeshFlow, counts []int, n int) MeshResult {
 	if len(flows) == 0 {
 		panic("core: mesh workload needs at least one flow")
 	}
 	txs := make([]*link.Peer, len(flows))
 	rxs := make([]*link.Peer, len(flows))
 	cols := make([]*Collector, len(flows))
+	count := func(i int) int {
+		if counts == nil {
+			return n
+		}
+		return counts[i]
+	}
 	for i, fl := range flows {
 		src := m.Node(fl.SrcX, fl.SrcY)
 		dst := m.Node(fl.DstX, fl.DstY)
 		txs[i] = src.PeerTo(dst.ID)
 		rxs[i] = dst.PeerTo(src.ID)
-		cols[i] = NewCollector(n)
+		cols[i] = NewCollector(count(i))
 		rxs[i].Deliver = cols[i].Deliver
 	}
 	for i := 0; i < n; i++ {
-		for _, tx := range txs {
-			tx.Submit(SealedPayload(uint64(i)))
+		for j, tx := range txs {
+			if i < count(j) {
+				tx.Submit(SealedPayload(uint64(i)))
+			}
 		}
 	}
 	m.Run()
@@ -198,10 +245,14 @@ func (m *MeshFabric) RunWorkload(flows []MeshFlow, n int) MeshResult {
 	res := MeshResult{
 		Cfg: m.Cfg, W: m.W, H: m.H,
 		Flows:   append([]MeshFlow(nil), flows...),
-		Offered: n,
-		Routers: m.Mesh.TotalStats(),
-		Paths:   m.Mesh.PathStats(),
-		Elapsed: m.Eng.Now(),
+		Offered:     n,
+		Routers:     m.Mesh.TotalStats(),
+		Paths:       m.Mesh.PathStats(),
+		HookDropped: m.Mesh.HookDrops(),
+		Elapsed:     m.Eng.Now(),
+	}
+	if counts != nil {
+		res.PerFlowOffered = append([]int(nil), counts...)
 	}
 	for i := range flows {
 		res.PerFlow = append(res.PerFlow, cols[i].Finish())

@@ -1,89 +1,66 @@
 package core
 
 import (
-	"fmt"
 	"reflect"
 	"testing"
 
 	"repro/internal/link"
 	"repro/internal/phy"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
-// runMeshOnce executes one mesh workload and returns the result with the
-// config blanked so fast and slow runs compare equal.
-func runMeshOnce(t *testing.T, cfg Config, w, h int, flows []MeshFlow, n int) MeshResult {
+// assertCellFastSlowIdentical runs one scenario cell with the fast path
+// on and off and requires bit-identical accounting: per-flow failure
+// taxonomy, endpoint link statistics, router totals, per-path channel
+// statistics, hook drops, and simulated end time.
+func assertCellFastSlowIdentical(t *testing.T, c ScenarioCell, n int) {
 	t.Helper()
-	m, err := NewMeshFabric(cfg, w, h)
+	fast, slow, identical, err := c.RunDifferential(n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := m.RunWorkload(flows, n)
-	res.Cfg = Config{}
-	return res
-}
-
-// assertMeshFastSlowIdentical runs the same mesh workload with the fast
-// path on and off and requires bit-identical accounting: per-flow failure
-// taxonomy, endpoint link statistics, router totals, per-path channel
-// statistics, and simulated end time.
-func assertMeshFastSlowIdentical(t *testing.T, cfg Config, w, h int, flows []MeshFlow, n int) {
-	t.Helper()
-	fastCfg, slowCfg := cfg, cfg
-	fastCfg.NoFastPath = false
-	slowCfg.NoFastPath = true
-
-	fast := runMeshOnce(t, fastCfg, w, h, flows, n)
-	slow := runMeshOnce(t, slowCfg, w, h, flows, n)
-	if !reflect.DeepEqual(fast, slow) {
-		t.Errorf("mesh fast/slow diverge:\nfast: %+v\nslow: %+v", fast, slow)
+	if !identical {
+		t.Errorf("fast/slow diverge:\nfast: %+v\nslow: %+v", fast.Result, slow.Result)
 	}
-}
-
-// meshCases are the topology grid of the differential suite: a 1-wide
-// chain-degenerate mesh, the minimal square, and the full 4x4 diagonal
-// with crossing flows sharing intermediate routers.
-var meshCases = []struct {
-	name  string
-	w, h  int
-	flows []MeshFlow
-}{
-	{"4x1", 4, 1, []MeshFlow{
-		{SrcX: 0, SrcY: 0, DstX: 3, DstY: 0},
-		{SrcX: 3, SrcY: 0, DstX: 0, DstY: 0},
-	}},
-	{"2x2", 2, 2, []MeshFlow{
-		{SrcX: 0, SrcY: 0, DstX: 1, DstY: 1},
-		{SrcX: 1, SrcY: 0, DstX: 0, DstY: 1},
-	}},
-	{"4x4", 4, 4, []MeshFlow{
-		{SrcX: 0, SrcY: 0, DstX: 3, DstY: 3},
-		{SrcX: 3, SrcY: 0, DstX: 0, DstY: 3},
-		{SrcX: 0, SrcY: 3, DstX: 3, DstY: 0},
-	}},
 }
 
 // TestMeshFastPathDifferential is the correctness bar of the mesh-wide
 // error-event fast path: for identical seeds, FastPath on and off must
-// produce bit-identical workload results across mesh sizes × protocols ×
-// BERs spanning error-free, rare-error, and retry-heavy operating points.
+// produce bit-identical workload results across the scenario matrix —
+// mesh sizes (a 1-wide chain degenerate, the minimal square, the full
+// 4x4) × workloads × protocols × BERs spanning error-free, rare-error,
+// and retry-heavy operating points. The case list comes from the shared
+// ScenarioGrid enumerator instead of hand-rolled flow tables; transpose
+// on the non-square 4x1 drops out as incompatible.
 func TestMeshFastPathDifferential(t *testing.T) {
-	const n = 250
-	for _, tc := range meshCases {
-		for _, proto := range Protocols {
-			for _, ber := range []float64{0, 1e-6, 1e-4} {
-				cfg := Config{
-					Protocol:  proto,
-					BER:       ber,
-					BurstProb: 0.4,
-					Seed:      100*uint64(tc.w) + 13,
-				}
-				name := fmt.Sprintf("%s/%s/BER%g", tc.name, proto, ber)
-				t.Run(name, func(t *testing.T) {
-					assertMeshFastSlowIdentical(t, cfg, tc.w, tc.h, tc.flows, n)
-				})
-			}
-		}
+	g := ScenarioGrid{
+		Base:      Config{BurstProb: 0.4, Seed: 413},
+		Protocols: Protocols,
+		Topologies: []Topology{
+			{W: 4, H: 1},
+			{W: 2, H: 2},
+			{W: 4, H: 4},
+		},
+		Workloads: []workload.Spec{
+			{Kind: workload.KindUniform, Flows: 3},
+			{Kind: workload.KindTranspose},
+		},
+		BERs: []float64{0, 1e-6, 1e-4},
+		N:    200,
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 protocols × (3 topologies × 2 workloads − 1 incompatible) × 3 BERs.
+	if want := len(Protocols) * 5 * 3; len(cells) != want {
+		t.Fatalf("matrix enumerates %d cells, want %d", len(cells), want)
+	}
+	for _, c := range cells {
+		t.Run(c.Name(), func(t *testing.T) {
+			assertCellFastSlowIdentical(t, c, g.N)
+		})
 	}
 }
 
@@ -169,6 +146,84 @@ func TestMeshStatsAudit(t *testing.T) {
 			}
 			if st.DeliveredLocal != total {
 				t.Errorf("DeliveredLocal = %d, want %d", st.DeliveredLocal, total)
+			}
+		})
+	}
+}
+
+// TestMeshStatsAuditZipfHotSpot extends the per-hop statistics audit to
+// a generated hot-spot workload: under zipf skew toward node 0, the
+// router totals must still satisfy the route-length identities flow by
+// flow — DeliveredLocal counts every data and control flit exactly once
+// at its terminal router, Forwarded counts routers-on-path − 1 per flit
+// — and the sink's router must dominate local deliveries. The audit
+// holds identically on the fast path and the byte-level reference.
+func TestMeshStatsAuditZipfHotSpot(t *testing.T) {
+	const n = 120
+	for _, noFast := range []bool{false, true} {
+		name := "fastpath"
+		if noFast {
+			name = "bytelevel"
+		}
+		t.Run(name, func(t *testing.T) {
+			cell := ScenarioCell{
+				Cfg:      Config{Protocol: link.ProtocolRXL, Seed: 11, NoFastPath: noFast},
+				Topo:     Topology{Kind: TopoMesh, W: 4, H: 4},
+				Workload: workload.Spec{Kind: workload.KindZipf, Flows: 10, Skew: 2},
+			}
+			flows, _, err := cell.Flows()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fab, err := NewTopologyFabric(cell.Cfg, cell.Topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := fab.RunWorkload(flows, n)
+			if !res.Clean() {
+				t.Fatalf("clean mesh run not clean: %+v", res.PerFlow)
+			}
+
+			// Per-flow identities: data flits cross the forward route's
+			// routers, standalone ACKs the reverse route's (same count —
+			// XY routing is symmetric in length). No recovery traffic on
+			// a clean run.
+			var wantIn, wantFwd, wantLocal uint64
+			for i, fl := range flows {
+				if res.TxStats[i].Retransmissions != 0 || res.RxStats[i].NakFlitsSent != 0 {
+					t.Fatalf("flow %d had recovery traffic on a clean run", i)
+				}
+				routers := uint64(fab.Mesh.HopsBetween(fl.SrcX, fl.SrcY, fl.DstX, fl.DstY))
+				total := res.TxStats[i].FlitsSent + res.RxStats[i].FlitsSent
+				wantIn += total * routers
+				wantFwd += total * (routers - 1)
+				wantLocal += total
+			}
+			st := res.Routers
+			if st.FlitsIn != wantIn {
+				t.Errorf("FlitsIn = %d, want %d", st.FlitsIn, wantIn)
+			}
+			if st.Forwarded != wantFwd {
+				t.Errorf("Forwarded = %d, want %d", st.Forwarded, wantFwd)
+			}
+			if st.DeliveredLocal != wantLocal {
+				t.Errorf("DeliveredLocal = %d, want %d", st.DeliveredLocal, wantLocal)
+			}
+
+			// Hot-spot skew: node 0's router receives the most data
+			// deliveries of any router (zipf concentrates destinations
+			// there; ACK deliveries at sources cannot overtake it since
+			// control flits are coalesced).
+			sink := fab.Mesh.Routers[0][0].Stats.DeliveredLocal
+			for x := 0; x < 4; x++ {
+				for y := 0; y < 4; y++ {
+					if x == 0 && y == 0 {
+						continue
+					}
+					if got := fab.Mesh.Routers[x][y].Stats.DeliveredLocal; got > sink {
+						t.Errorf("router (%d,%d) delivered %d > hot-spot router's %d", x, y, got, sink)
+					}
+				}
 			}
 		})
 	}

@@ -93,6 +93,22 @@ func (ch *Channel) Advance(bits int) {
 	}
 }
 
+// SetBER changes the channel's bit error rate mid-stream — the primitive
+// behind scripted fault campaigns (lane degrade, transient BER storms).
+// The geometric error process is memoryless, so the statistically correct
+// rate change redraws the pending gap at the new rate: exactly one RNG
+// draw from this channel's own stream, at the moment of the change. A
+// channel that has not yet primed simply primes at the new rate on first
+// use. Callers on the fast==byte-level differential contract must invoke
+// SetBER at identical points of the consumption stream in both runs
+// (scheduling it as a simulation event does exactly that).
+func (ch *Channel) SetBER(ber float64) {
+	ch.BER = ber
+	if ch.primed {
+		ch.next = ch.rng.Geometric(ber)
+	}
+}
+
 // Corrupt injects bit errors into buf in place per the schedule and
 // returns the number of bits flipped. Clean buffers (no event scheduled
 // within) cost O(1).

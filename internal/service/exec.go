@@ -52,6 +52,8 @@ func execute(ctx context.Context, spec JobSpec, pool runner.Pool) (json.RawMessa
 	case KindRareSelfCheck:
 		r := spec.RareSelfCheck
 		v, err = reliability.RareSelfCheck(ctx, pool, r.BERs, r.Flits, r.Shards)
+	case KindScenario:
+		v, err = core.RunScenarioGrid(ctx, pool, *spec.Scenario)
 	default:
 		// Normalize rejects unknown kinds before jobs reach the queue.
 		err = fmt.Errorf("service: unknown job kind %q", spec.Kind)

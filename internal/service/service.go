@@ -74,6 +74,10 @@ const (
 	// KindRareSelfCheck cross-validates the importance-sampling machinery
 	// against naive schedule Monte-Carlo (reliability.RareSelfCheck).
 	KindRareSelfCheck = "rare-selfcheck"
+	// KindScenario runs a scenario grid (core.RunScenarioGrid): protocol ×
+	// topology × workload × fault-campaign × BER × seed cells on mesh or
+	// torus fabrics.
+	KindScenario = "scenario"
 )
 
 // SweepSpec parameterizes a KindSweep job.
@@ -155,6 +159,9 @@ type JobSpec struct {
 	Comparison *ComparisonSpec `json:"comparison,omitempty"`
 	// RareSelfCheck is the KindRareSelfCheck payload.
 	RareSelfCheck *RareSelfCheckSpec `json:"rare_selfcheck,omitempty"`
+	// Scenario is the KindScenario payload: a core.ScenarioGrid in its
+	// native JSON form.
+	Scenario *core.ScenarioGrid `json:"scenario,omitempty"`
 }
 
 // Normalize validates the spec and fills every defaulted field with its
@@ -179,8 +186,11 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	if s.RareSelfCheck != nil {
 		n++
 	}
+	if s.Scenario != nil {
+		n++
+	}
 	if n != 1 {
-		return s, fmt.Errorf("service: spec needs exactly one of grid/sweep/rare/comparison/rare_selfcheck, got %d", n)
+		return s, fmt.Errorf("service: spec needs exactly one of grid/sweep/rare/comparison/rare_selfcheck/scenario, got %d", n)
 	}
 	switch s.Kind {
 	case KindGrid:
@@ -280,8 +290,31 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 			r.Shards = reliability.DefaultShards
 		}
 		s.RareSelfCheck = &r
+	case KindScenario:
+		if s.Scenario == nil {
+			return s, fmt.Errorf("service: kind %q needs a scenario payload", s.Kind)
+		}
+		if err := s.Scenario.Base.Validate(); err != nil {
+			return s, err
+		}
+		sg, err := s.Scenario.Normalized()
+		if err != nil {
+			return s, err
+		}
+		// Reject grids with no runnable cells at submission, like an
+		// invalid axis — and validate every cell configuration.
+		cells, err := sg.Cells()
+		if err != nil {
+			return s, err
+		}
+		for _, c := range cells {
+			if err := c.Cfg.Validate(); err != nil {
+				return s, err
+			}
+		}
+		s.Scenario = &sg
 	default:
-		return s, fmt.Errorf("service: unknown job kind %q (want grid, sweep, rare, comparison, or rare-selfcheck)", s.Kind)
+		return s, fmt.Errorf("service: unknown job kind %q (want grid, sweep, rare, comparison, rare-selfcheck, or scenario)", s.Kind)
 	}
 	if s.Workers < 0 {
 		s.Workers = 0
@@ -299,6 +332,7 @@ type keySpec struct {
 	Rare          *RareSpec
 	Comparison    *ComparisonSpec    `json:",omitempty"`
 	RareSelfCheck *RareSelfCheckSpec `json:",omitempty"`
+	Scenario      *core.ScenarioGrid `json:",omitempty"`
 }
 
 // Key returns the content address of a normalized spec: the hex SHA-256
@@ -312,7 +346,7 @@ func (s JobSpec) Key() string {
 	// keys, including entries already spilled to disk.
 	b, err := json.Marshal(keySpec{
 		Kind: s.Kind, Seed: s.Seed, Grid: s.Grid, Sweep: s.Sweep, Rare: s.Rare,
-		Comparison: s.Comparison, RareSelfCheck: s.RareSelfCheck,
+		Comparison: s.Comparison, RareSelfCheck: s.RareSelfCheck, Scenario: s.Scenario,
 	})
 	if err != nil {
 		// Specs are plain data — the only marshal failures are

@@ -50,6 +50,10 @@ type Mesh struct {
 
 	wires []*link.Wire
 
+	// wrap marks torus mode: the row/column rings close and routing takes
+	// the minimal direction around each ring.
+	wrap bool
+
 	// Per-path error-event schedules, keyed src<<8|dst, created on first
 	// traffic from a dedicated RNG lineage (deterministic per seed and
 	// traffic order). nil maps mean BER 0 — no error model at all.
@@ -57,6 +61,11 @@ type Mesh struct {
 	pathRNG *phy.RNG
 	ber     float64
 	burst   float64
+	// berScale is the fault-campaign multiplier currently applied on top
+	// of the configured BER (1 outside storm/degrade windows). It steers
+	// schedules created after the scale change; SetPathBERScale retunes
+	// the already-existing ones.
+	berScale float64
 	// fec materializes deferred seals when a schedule strikes a deferred
 	// flit mid-path.
 	fec *rs.Interleaved
@@ -82,6 +91,14 @@ type MeshConfig struct {
 	BER       float64
 	BurstProb float64
 	Seed      uint64
+	// Wrap closes the row and column rings, turning the mesh into a 2D
+	// torus: every router gains wraparound wires (when the dimension has
+	// at least two routers) and dimension-ordered routing takes the
+	// minimal direction around each ring, breaking exact ties toward
+	// east/south. Everything else — per-hop FEC termination, the (src,dst)
+	// routing-tag schedule keying, whole-traversal grants at the ingress
+	// wire — is unchanged; only the hop count of a traversal shrinks.
+	Wrap bool
 }
 
 // DefaultMeshConfig returns NoC-scale timing: 2 ns flits, 1 ns hops,
@@ -101,7 +118,7 @@ func NewMesh(eng *sim.Engine, w, h int, cfg MeshConfig) *Mesh {
 	if w < 1 || h < 1 || w*h > 256 {
 		panic(fmt.Sprintf("switchfab: mesh %dx%d out of range", w, h))
 	}
-	m := &Mesh{W: w, H: h, Eng: eng}
+	m := &Mesh{W: w, H: h, Eng: eng, wrap: cfg.Wrap, berScale: 1}
 	if cfg.BER > 0 {
 		m.paths = make(map[uint16]*phy.SharedSchedule)
 		m.pathRNG = phy.NewRNG(cfg.Seed)
@@ -132,24 +149,76 @@ func NewMesh(eng *sim.Engine, w, h int, cfg MeshConfig) *Mesh {
 	// Inter-router wires: each delivers into the neighbor's pipeline
 	// behind a hop crossing of the flit's path schedule. Node-ingress
 	// wires are the injection points where whole-path grants are taken.
+	// Under Wrap the boundary routers gain wraparound wires in the same
+	// direction slots (east from x=W-1 lands on x=0, and so on), so the
+	// forwarding switch below needs no wrap-specific cases.
 	for x := 0; x < w; x++ {
 		for y := 0; y < h; y++ {
 			if x+1 < w {
 				m.out[x][y][dirEast] = mkWire(m.hopArrival(x+1, y))
+			} else if cfg.Wrap && w > 1 {
+				m.out[x][y][dirEast] = mkWire(m.hopArrival(0, y))
 			}
 			if x > 0 {
 				m.out[x][y][dirWest] = mkWire(m.hopArrival(x-1, y))
+			} else if cfg.Wrap && w > 1 {
+				m.out[x][y][dirWest] = mkWire(m.hopArrival(w-1, y))
 			}
 			if y+1 < h {
 				m.out[x][y][dirSouth] = mkWire(m.hopArrival(x, y+1))
+			} else if cfg.Wrap && h > 1 {
+				m.out[x][y][dirSouth] = mkWire(m.hopArrival(x, 0))
 			}
 			if y > 0 {
 				m.out[x][y][dirNorth] = mkWire(m.hopArrival(x, y-1))
+			} else if cfg.Wrap && h > 1 {
+				m.out[x][y][dirNorth] = mkWire(m.hopArrival(x, h-1))
 			}
 			m.ingress[x][y] = mkWire(m.injectArrival(x, y))
 		}
 	}
 	return m
+}
+
+// dimDist is the router count a flit crosses along one dimension: the
+// absolute distance on a mesh, the minimal ring distance on a torus.
+func (m *Mesh) dimDist(cur, dst, size int) int {
+	d := abs(dst - cur)
+	if m.wrap && size-d < d {
+		d = size - d
+	}
+	return d
+}
+
+// dimStep is the per-dimension routing decision at a router: -1, 0, or +1
+// toward the destination coordinate. On a torus the minimal ring direction
+// wins; exact ties (even ring sizes, antipodal destination) break toward
+// +1 (east/south) so routes stay deterministic.
+func (m *Mesh) dimStep(cur, dst, size int) int {
+	if cur == dst {
+		return 0
+	}
+	if m.wrap {
+		fwd := dst - cur
+		if fwd < 0 {
+			fwd += size
+		}
+		if fwd <= size-fwd {
+			return 1
+		}
+		return -1
+	}
+	if dst > cur {
+		return 1
+	}
+	return -1
+}
+
+// HopsBetween counts the wire crossings of a (sx,sy)→(dx,dy) traversal:
+// the node-ingress wire plus the routing distance, topology-aware. It is
+// the hop count whole-traversal grants consume at injection.
+func (m *Mesh) HopsBetween(sx, sy, dx, dy int) int {
+	return 1 + m.dimDist(sx, dx, m.W) + m.dimDist(sy, dy, m.H)
 }
 
 // pathKey identifies a shared schedule by the flit's routing tags. Both
@@ -158,15 +227,40 @@ func NewMesh(eng *sim.Engine, w, h int, cfg MeshConfig) *Mesh {
 func pathKey(src, dst byte) uint16 { return uint16(src)<<8 | uint16(dst) }
 
 // pathSched returns (creating on first use) the shared error schedule of
-// the src→dst path.
+// the src→dst path, at the BER currently in force (base × fault scale).
 func (m *Mesh) pathSched(src, dst byte) *phy.SharedSchedule {
 	k := pathKey(src, dst)
 	s, ok := m.paths[k]
 	if !ok {
-		s = phy.NewSharedSchedule(m.ber, m.burst, m.pathRNG.Split(), flit.Bits)
+		s = phy.NewSharedSchedule(m.ber*m.berScale, m.burst, m.pathRNG.Split(), flit.Bits)
 		m.paths[k] = s
 	}
 	return s
+}
+
+// SetPathBERScale multiplies the configured BER of every path schedule —
+// the mesh-wide primitive behind scripted lane-degrade and BER-storm
+// campaigns (scale 1 restores the configured rate). Existing schedules
+// redraw their pending error gap at the new rate from their own RNG
+// streams, and schedules created later inherit the scale, so the effect
+// is identical no matter which paths have carried traffic yet. On a
+// clean mesh (BER 0) there is no error model to scale and the call is a
+// no-op. Callers on the fast==byte-level differential contract must
+// apply scale changes as simulation events, so both runs retune each
+// schedule at the same point of its consumption stream.
+func (m *Mesh) SetPathBERScale(scale float64) {
+	if scale <= 0 {
+		panic("switchfab: non-positive BER scale")
+	}
+	m.berScale = scale
+	if m.paths == nil {
+		return
+	}
+	// Iteration order does not matter: each schedule redraws from its own
+	// RNG stream, independent of the others.
+	for _, s := range m.paths {
+		s.Channel().SetBER(m.ber * scale)
+	}
 }
 
 // injectArrival wraps router (x,y)'s pipeline for its node-ingress wire:
@@ -184,7 +278,7 @@ func (m *Mesh) injectArrival(x, y int) func(*flit.Flit) {
 		dst := f.Payload()[flit.RouteOffset]
 		hops := 1
 		if dx, dy, ok := m.nodeXY(dst); ok {
-			hops += abs(dx-x) + abs(dy-y)
+			hops = m.HopsBetween(x, y, dx, dy)
 		}
 		link.BeginPathTraversal(m.pathSched(src, dst), m.fec, f, hops)
 		pipeline(f)
@@ -249,7 +343,10 @@ func (m *Mesh) AttachNode(x, y int, deliver func(*flit.Flit)) *link.Wire {
 func (m *Mesh) Wires() []*link.Wire { return m.wires }
 
 // InterRouterWire returns the wire from router (x1,y1) to the adjacent
-// router (x2,y2), for targeted fault injection on one hop.
+// router (x2,y2), for targeted fault injection on one hop. On a torus the
+// wraparound edges are adjacent too: (W-1,y)→(0,y) is that row's East wrap
+// wire, (x,H-1)→(x,0) the column's South one, and their reverses
+// West/North.
 func (m *Mesh) InterRouterWire(x1, y1, x2, y2 int) *link.Wire {
 	var w *link.Wire
 	switch {
@@ -260,6 +357,14 @@ func (m *Mesh) InterRouterWire(x1, y1, x2, y2 int) *link.Wire {
 	case x2 == x1 && y2 == y1+1:
 		w = m.out[x1][y1][dirSouth]
 	case x2 == x1 && y2 == y1-1:
+		w = m.out[x1][y1][dirNorth]
+	case m.wrap && m.W > 1 && y2 == y1 && x1 == m.W-1 && x2 == 0:
+		w = m.out[x1][y1][dirEast]
+	case m.wrap && m.W > 1 && y2 == y1 && x1 == 0 && x2 == m.W-1:
+		w = m.out[x1][y1][dirWest]
+	case m.wrap && m.H > 1 && x2 == x1 && y1 == m.H-1 && y2 == 0:
+		w = m.out[x1][y1][dirSouth]
+	case m.wrap && m.H > 1 && x2 == x1 && y1 == 0 && y2 == m.H-1:
 		w = m.out[x1][y1][dirNorth]
 	}
 	if w == nil {
@@ -292,17 +397,24 @@ func (m *Mesh) routerIngress(x, y int) func(*flit.Flit) {
 			return
 		}
 		dx, dy, ok := m.nodeXY(f.Payload()[flit.RouteOffset])
+		sx, sy := 0, 0
+		if ok {
+			sx = m.dimStep(x, dx, m.W)
+			if sx == 0 {
+				sy = m.dimStep(y, dy, m.H)
+			}
+		}
 		switch {
 		case !ok:
 			r.Stats.DroppedNoRoute++
 			flit.Release(f)
-		case dx > x:
+		case sx > 0:
 			m.forwardTo(r, f, m.out[x][y][dirEast])
-		case dx < x:
+		case sx < 0:
 			m.forwardTo(r, f, m.out[x][y][dirWest])
-		case dy > y:
+		case sy > 0:
 			m.forwardTo(r, f, m.out[x][y][dirSouth])
-		case dy < y:
+		case sy < 0:
 			m.forwardTo(r, f, m.out[x][y][dirNorth])
 		default:
 			// Local delivery is accounted on its own: counting it as a
@@ -344,6 +456,16 @@ func (m *Mesh) TotalStats() Stats {
 			t.CorrectedSymbols += r.Stats.CorrectedSymbols
 			t.InternalCorruptions += r.Stats.InternalCorruptions
 		}
+	}
+	return t
+}
+
+// HookDrops sums the flits silently dropped by scripted fault hooks
+// across every wire of the mesh.
+func (m *Mesh) HookDrops() uint64 {
+	var t uint64
+	for _, w := range m.wires {
+		t += w.HookDropped
 	}
 	return t
 }

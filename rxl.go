@@ -49,6 +49,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/switchfab"
+	"repro/internal/workload"
 )
 
 // Protocol selects the sequence-integrity scheme of a fabric.
@@ -295,7 +296,17 @@ type NoC struct {
 // seed, timing overrides, and NoFastPath; Levels and switch-specific
 // fields are ignored.
 func NewNoC(w, h int, cfg Config) (*NoC, error) {
-	fab, err := core.NewMeshFabric(cfg, w, h)
+	return newNoC(cfg, Topology{Kind: core.TopoMesh, W: w, H: h})
+}
+
+// NewTorus builds a w×h 2D-torus NoC: wraparound row/column rings with
+// minimal-direction routing, everything else as NewNoC.
+func NewTorus(w, h int, cfg Config) (*NoC, error) {
+	return newNoC(cfg, Topology{Kind: core.TopoTorus, W: w, H: h})
+}
+
+func newNoC(cfg Config, topo Topology) (*NoC, error) {
+	fab, err := core.NewTopologyFabric(cfg, topo)
 	if err != nil {
 		return nil, err
 	}
@@ -314,6 +325,60 @@ func (n *NoC) Run() { n.fab.Run() }
 // multi-hop benchmarks and differential tests.
 func (n *NoC) RunWorkload(flows []MeshFlow, nPayloads int) MeshResult {
 	return n.fab.RunWorkload(flows, nPayloads)
+}
+
+// Topology selects the fabric shape of a scenario cell: a 2D mesh or a
+// 2D torus (wraparound rings, minimal-direction routing).
+type Topology = core.Topology
+
+// Topology kinds.
+const (
+	TopoMesh  = core.TopoMesh
+	TopoTorus = core.TopoTorus
+)
+
+// WorkloadSpec selects and parameterizes a spatial traffic generator:
+// uniform random, zipf hot-spot, transpose/bit-reverse permutation,
+// single-sink incast, or trace-driven replay. Generation is a pure
+// function of (spec, geometry, seed).
+type WorkloadSpec = workload.Spec
+
+// Workload kinds.
+const (
+	WorkloadUniform    = workload.KindUniform
+	WorkloadZipf       = workload.KindZipf
+	WorkloadTranspose  = workload.KindTranspose
+	WorkloadBitReverse = workload.KindBitReverse
+	WorkloadSingleSink = workload.KindSingleSink
+	WorkloadReplay     = workload.KindReplay
+)
+
+// FaultScript is a deterministic scripted fault campaign — lane degrade,
+// transient BER storm, or link flap — applied to a fabric as seed-derived
+// engine events, identically on the fast and byte-level paths.
+type FaultScript = core.FaultScript
+
+// Fault-campaign kinds.
+const (
+	FaultNone    = core.FaultNone
+	FaultDegrade = core.FaultDegrade
+	FaultStorm   = core.FaultStorm
+	FaultFlap    = core.FaultFlap
+)
+
+// ScenarioGrid enumerates a scenario job set: protocol × topology ×
+// workload × fault-campaign × BER × seed. Incompatible (topology,
+// workload) pairings are skipped deterministically.
+type ScenarioGrid = core.ScenarioGrid
+
+// ScenarioResult is the accounting of one scenario cell.
+type ScenarioResult = core.ScenarioResult
+
+// RunScenarios runs every compatible cell of the grid across the pool's
+// workers and returns results in cell order, bit-identical at any worker
+// count.
+func RunScenarios(ctx context.Context, pool Runner, grid ScenarioGrid) ([]ScenarioResult, error) {
+	return core.RunScenarioGrid(ctx, pool, grid)
 }
 
 // Engine is the discrete-event scheduler driving every fabric: a
