@@ -395,17 +395,17 @@ func BenchmarkFlitTransfer(b *testing.B) {
 
 // benchMeshTransfer drives line-rate traffic across the full diagonal of
 // a 4x4 mesh (7 routers, 7 wire crossings) at the paper's operating point
-// (BER 1e-6) with the mesh-wide error-event fast path on or off. The mesh
-// differential suite guarantees both paths produce bit-identical results;
-// this benchmark measures what the shared path schedule buys — one
-// schedule consultation per traversal instead of per-hop channel work,
-// with clean flits forwarded by reference through every router (0
-// allocs/op in the clean-span loop).
-func benchMeshTransfer(b *testing.B, fast bool) {
+// (BER 1e-6) with the mesh-wide error-event fast path and the express
+// traversal path toggled independently. The mesh differential suite
+// guarantees every mode produces bit-identical results; the fast path
+// buys one schedule consultation per traversal instead of per-hop channel
+// work (clean flits forwarded by reference), express collapses granted
+// traversals into up-front wire claims plus a single delivery event.
+func benchMeshTransfer(b *testing.B, noExpress, noFast bool) *rxl.NoC {
 	b.ReportAllocs()
 	noc, err := rxl.NewNoC(4, 4, rxl.Config{
 		Protocol: rxl.RXL, BER: 1e-6, BurstProb: 0.4,
-		Seed: 11, NoFastPath: !fast,
+		Seed: 11, NoExpress: noExpress, NoFastPath: noFast,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -428,15 +428,82 @@ func benchMeshTransfer(b *testing.B, fast bool) {
 	if delivered != b.N {
 		b.Fatalf("delivered %d of %d", delivered, b.N)
 	}
+	return noc
 }
 
 // BenchmarkMeshTransferFastPath compares the multi-hop NoC inner loop
 // with the mesh-wide fast path against the byte-level reference (every
-// router decoding, checking, and re-encoding every flit). CI gates the
-// within-run bytelevel/fastpath ratio at ≥5×.
+// router decoding, checking, and re-encoding every flit), both on the
+// per-hop event fabric (NoExpress — the PR 5 model this benchmark has
+// always measured; the express win is gated separately by
+// BenchmarkMeshExpressTraversal). CI gates the within-run
+// bytelevel/fastpath ratio at ≥5×.
 func BenchmarkMeshTransferFastPath(b *testing.B) {
-	b.Run("fastpath", func(b *testing.B) { benchMeshTransfer(b, true) })
-	b.Run("bytelevel", func(b *testing.B) { benchMeshTransfer(b, false) })
+	b.Run("fastpath", func(b *testing.B) { benchMeshTransfer(b, true, false) })
+	b.Run("bytelevel", func(b *testing.B) { benchMeshTransfer(b, true, true) })
+}
+
+// --- PR 7: express traversal + clean-epoch skipping -----------------------
+
+// BenchmarkMeshExpressTraversal measures what express traversal buys on
+// the same diagonal workload: "express" claims every route wire at
+// injection and schedules one delivery event per granted traversal
+// (struck traversals walk their pre-claimed route with per-hop events),
+// "fastpath" is the PR 5 per-hop event fabric. Both ride the error-event
+// fast path; the express differential suite pins them bit-identical
+// per mode against the byte-level reference. CI gates the within-run
+// fastpath/express ratio — machine-invariant, it measures the event
+// collapse itself. The express leg also reports the fraction of
+// traversals that went express at this operating point.
+func BenchmarkMeshExpressTraversal(b *testing.B) {
+	b.Run("express", func(b *testing.B) {
+		noc := benchMeshTransfer(b, false, false)
+		ex := noc.Mesh.ExpressTraversals
+		fb := noc.Mesh.ExpressFallbacks
+		if ex == 0 {
+			b.Fatal("no traversal went express")
+		}
+		b.ReportMetric(float64(ex)/float64(ex+fb), "express_share")
+	})
+	b.Run("fastpath", func(b *testing.B) { benchMeshTransfer(b, true, false) })
+}
+
+// BenchmarkMCEpochSkip measures clean-epoch skipping in the MC path-FER
+// loop (7-hop diagonal, 300k flits per op). The PR 5 loop
+// (MeasureFERPathGrantWalk, kept frozen) already consumes whole clean
+// traversals in O(1) GrantSpans; the epoch-skip loop
+// (MeasureFERPathSchedule) additionally jumps the clean crossings inside
+// each struck traversal, making per-traversal cost proportional to error
+// events rather than hops. The legs hold the flit count constant while
+// the BER drops, so their ns/op ratios are per-flit cost ratios: CI gates
+// pr5@1e-6 / epoch@1e-9 ≥ 5 — the BER-proportional effect the deep-tail
+// estimators ride — and epoch@1e-6 vs pr5@1e-6 shows the same-BER
+// intra-traversal win. Samples are asserted bit-identical between the
+// two loops before timing.
+func BenchmarkMCEpochSkip(b *testing.B) {
+	const hops, flits = 7, 300_000
+	if w, s := reliability.MeasureFERPathGrantWalk(1e-6, hops, 60_000, 11),
+		reliability.MeasureFERPathSchedule(1e-6, hops, 60_000, 11); w != s {
+		b.Fatalf("epoch-skip sample diverges from the PR 5 loop:\npr5   %+v\nepoch %+v", w, s)
+	}
+	legs := []struct {
+		name string
+		ber  float64
+		fn   func(float64, int, int, uint64) reliability.PathFERSample
+	}{
+		{"pr5-ber1e6", 1e-6, reliability.MeasureFERPathGrantWalk},
+		{"epoch-ber1e6", 1e-6, reliability.MeasureFERPathSchedule},
+		{"epoch-ber1e9", 1e-9, reliability.MeasureFERPathSchedule},
+	}
+	for _, leg := range legs {
+		b.Run(leg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				leg.fn(leg.ber, hops, flits, 1)
+			}
+			b.ReportMetric(float64(flits)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mflits_per_s")
+		})
+	}
 }
 
 // BenchmarkEngineBulkAdvance measures the event-dispatch cost of the

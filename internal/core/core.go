@@ -48,6 +48,15 @@ type Config struct {
 	// link.DefaultConfig default); the differential tests prove the two
 	// settings produce bit-identical results for identical seeds.
 	NoFastPath bool
+	// NoExpress disables the express traversal path on mesh fabrics:
+	// every flit pays one engine event per hop (the PR 5 model) instead
+	// of claiming its whole route at injection. Unlike NoFastPath this is
+	// a model switch, not a reference toggle — express changes the wire
+	// claim order under cross-traffic — so the differential contract
+	// compares fast vs byte-level at equal NoExpress, and the express
+	// test suite separately pins express == hop-by-hop timing on
+	// same-path-only traffic. Ignored by chain fabrics.
+	NoExpress bool
 	// Serialization, Propagation and SwitchLatency override the default
 	// per-hop timing when non-zero.
 	Serialization sim.Time

@@ -154,6 +154,13 @@ func (m *MeshFabric) ApplyFault(script FaultScript, index int) error {
 		wires := m.Mesh.Wires()
 		rng := phy.NewRNG(m.Cfg.Seed ^ (0x9E3779B97F4A7C15 * uint64(index+1)))
 		w := wires[rng.Intn(len(wires))]
+		// An express claim is immutable once taken, so a hook installed
+		// mid-flight by the events below would be skipped by any flit that
+		// claimed the wire earlier. Marking the wire volatile for the whole
+		// run forces every traversal crossing it onto the hop-by-hop path —
+		// deterministically and traffic-independently, so fast and
+		// byte-level runs fall back on exactly the same traversals.
+		w.Volatile = true
 		dropAll := func(*flit.Flit) bool { return true }
 		for k := 0; k < s.Flaps; k++ {
 			down := start + sim.Time(int64(k)*s.PeriodNS)*sim.Nanosecond

@@ -54,6 +54,7 @@ func newMeshFabric(cfg Config, w, h int, wrap bool) (*MeshFabric, error) {
 	mc.BurstProb = cfg.BurstProb
 	mc.Seed = cfg.Seed
 	mc.Wrap = wrap
+	mc.NoExpress = cfg.NoExpress
 	if cfg.Serialization > 0 {
 		mc.Serialization = cfg.Serialization
 	}
@@ -144,6 +145,18 @@ type MeshResult struct {
 	TxStats, RxStats []link.Stats
 	Routers          switchfab.Stats
 	Paths            []switchfab.PathStat
+	// QueuePeaks is the per-node queue-depth high-water mark, indexed
+	// [y][x]: the deepest serialization backlog any wire of that node's
+	// router reached, in flits — the backpressure measurement of the
+	// single-sink/incast scenarios. Routers.QueuePeak is its mesh-wide
+	// max.
+	QueuePeaks [][]uint64
+	// ExpressTraversals counts traversals collapsed to a single delivery
+	// event; ExpressFallbacks counts granted routable traversals whose
+	// express claim was refused (fault-scripted wire, in-flight flit,
+	// fault-configured router) and fell back to hop-by-hop forwarding.
+	ExpressTraversals uint64
+	ExpressFallbacks  uint64
 	// HookDropped counts flits silently dropped by scripted fault hooks
 	// (link-flap campaigns) across every wire.
 	HookDropped uint64
@@ -244,12 +257,15 @@ func (m *MeshFabric) runWorkload(flows []MeshFlow, counts []int, n int) MeshResu
 
 	res := MeshResult{
 		Cfg: m.Cfg, W: m.W, H: m.H,
-		Flows:   append([]MeshFlow(nil), flows...),
-		Offered:     n,
-		Routers:     m.Mesh.TotalStats(),
-		Paths:       m.Mesh.PathStats(),
-		HookDropped: m.Mesh.HookDrops(),
-		Elapsed:     m.Eng.Now(),
+		Flows:             append([]MeshFlow(nil), flows...),
+		Offered:           n,
+		Routers:           m.Mesh.TotalStats(),
+		Paths:             m.Mesh.PathStats(),
+		QueuePeaks:        m.Mesh.NodeQueuePeaks(),
+		ExpressTraversals: m.Mesh.ExpressTraversals,
+		ExpressFallbacks:  m.Mesh.ExpressFallbacks,
+		HookDropped:       m.Mesh.HookDrops(),
+		Elapsed:           m.Eng.Now(),
 	}
 	if counts != nil {
 		res.PerFlowOffered = append([]int(nil), counts...)

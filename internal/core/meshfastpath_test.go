@@ -14,7 +14,7 @@ import (
 // on and off and requires bit-identical accounting: per-flow failure
 // taxonomy, endpoint link statistics, router totals, per-path channel
 // statistics, hook drops, and simulated end time.
-func assertCellFastSlowIdentical(t *testing.T, c ScenarioCell, n int) {
+func assertCellFastSlowIdentical(t *testing.T, c ScenarioCell, n int) ScenarioResult {
 	t.Helper()
 	fast, slow, identical, err := c.RunDifferential(n)
 	if err != nil {
@@ -23,6 +23,7 @@ func assertCellFastSlowIdentical(t *testing.T, c ScenarioCell, n int) {
 	if !identical {
 		t.Errorf("fast/slow diverge:\nfast: %+v\nslow: %+v", fast.Result, slow.Result)
 	}
+	return fast
 }
 
 // TestMeshFastPathDifferential is the correctness bar of the mesh-wide

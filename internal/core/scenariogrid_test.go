@@ -45,6 +45,7 @@ func TestScenarioDifferentialMatrix(t *testing.T) {
 	const n = 100
 	idx := 0
 	covered := 0
+	var expressRuns, expressFallbacks, flapFallbacks uint64
 	for _, topo := range topologies {
 		for _, wl := range workloads {
 			for _, fault := range faults {
@@ -64,7 +65,12 @@ func TestScenarioDifferentialMatrix(t *testing.T) {
 				}
 				covered++
 				t.Run(cell.Name(), func(t *testing.T) {
-					assertCellFastSlowIdentical(t, cell, n)
+					fast := assertCellFastSlowIdentical(t, cell, n)
+					expressRuns += fast.Result.ExpressTraversals
+					expressFallbacks += fast.Result.ExpressFallbacks
+					if fault.Kind == FaultFlap {
+						flapFallbacks += fast.Result.ExpressFallbacks
+					}
 				})
 			}
 		}
@@ -73,6 +79,14 @@ func TestScenarioDifferentialMatrix(t *testing.T) {
 	// 9-node fabrics (2×4 combinations).
 	if want := 3*6*4 - 8; covered != want {
 		t.Errorf("matrix covered %d combinations, want %d", covered, want)
+	}
+	// The matrix must actually exercise both halves of the express model:
+	// single-event traversals and hop-by-hop fallbacks (including
+	// flap-forced ones — every traversal crossing a flapped wire refuses
+	// its claim), or the bit-identity above is vacuous for express.
+	if expressRuns == 0 || expressFallbacks == 0 || flapFallbacks == 0 {
+		t.Errorf("matrix express coverage hollow: %d express, %d fallbacks (%d under flap)",
+			expressRuns, expressFallbacks, flapFallbacks)
 	}
 }
 

@@ -45,6 +45,15 @@ type Wire struct {
 	// mutate the image, so the clean mark cannot be trusted past it.
 	FaultHook func(*flit.Flit) bool
 
+	// Volatile marks a wire whose FaultHook a fault script may install or
+	// remove mid-run. An express claim is immutable once taken — the
+	// traversal's only event is the final delivery, so a hook appearing
+	// after claim time would be silently skipped. Express claims therefore
+	// never cross a volatile wire; campaigns set the flag before the run
+	// (deterministically, traffic-independently), so fast and byte-level
+	// runs fall back on exactly the same traversals.
+	Volatile bool
+
 	// HookDropped counts flits dropped by FaultHook.
 	HookDropped uint64
 
@@ -119,17 +128,20 @@ func (w *Wire) fecLazy() *rs.Interleaved {
 
 // BeginPathTraversal opens a flit's traversal of a shared-schedule path at
 // its injection crossing. A clean whole-traversal window consumes all
-// hops×flit.Bits up front and grants the flit a pass for the remaining
-// hops-1 crossings; otherwise only this crossing is consumed, byte-level
-// when the schedule strikes it. The decision depends only on the schedule
-// — never on the flit's fast-path marks — so fast and byte-level runs
-// consume the stream identically.
-func BeginPathTraversal(s *phy.SharedSchedule, fec *rs.Interleaved, f *flit.Flit, hops int) {
+// hops×flit.Bits up front, grants the flit a pass for the remaining
+// hops-1 crossings, and returns true; otherwise only this crossing is
+// consumed — byte-level when the schedule strikes it — and false is
+// returned. The decision depends only on the schedule — never on the
+// flit's fast-path marks — so fast and byte-level runs consume the stream
+// identically. The grant verdict is what express traversal keys on: a
+// granted flit's whole mesh timing is deterministic at injection.
+func BeginPathTraversal(s *phy.SharedSchedule, fec *rs.Interleaved, f *flit.Flit, hops int) bool {
 	if s.Begin(hops) {
 		f.SetPathPass(hops - 1)
-		return
+		return true
 	}
 	CrossPathUnit(s, fec, f)
+	return false
 }
 
 // CrossPathUnit consumes one shared-schedule crossing for f: an O(1)
@@ -153,6 +165,34 @@ func (w *Wire) Send(f *flit.Flit) { w.pipe.Send(f) }
 // SendAfter transmits a flit whose serialization may start no earlier
 // than `earliest` — the switch-latency fold (sim.Pipe.SendAt).
 func (w *Wire) SendAfter(f *flit.Flit, earliest sim.Time) { w.pipe.SendAt(f, earliest) }
+
+// Reserve claims the wire for one flit starting no earlier than `earliest`
+// without carrying it through an event, returning the arrival time the
+// equivalent SendAfter would have delivered at. Express traversal claims
+// every wire of a route this way at injection; the claimed flit bypasses
+// the wire's sink entirely, so callers must have proven via
+// ExpressClaimable that the sink would have been a pass-through.
+func (w *Wire) Reserve(earliest sim.Time) sim.Time { return w.pipe.Reserve(earliest) }
+
+// ExpressClaimable reports whether an express traversal may claim this
+// wire: no per-wire channel or path schedule (the mesh drives shared
+// schedules from its arrival sinks — a wire-attached error model would be
+// skipped by the claim) and no scripted fault hook installed or pending
+// (Volatile). In-flight flits do not block a claim — claims queue FIFO on
+// the wire's busy window, and per-path delivery order (ISN's ground rule)
+// is the fabric's concern: it claims every flit of a claimable route at
+// injection, so claim order is injection order.
+func (w *Wire) ExpressClaimable() bool {
+	return w.Channel == nil && w.PathSched == nil && w.FaultHook == nil && !w.Volatile
+}
+
+// InFlight returns the number of flits sent on this wire but not yet
+// delivered (reservations excluded).
+func (w *Wire) InFlight() int { return w.pipe.InFlight() }
+
+// QueuePeak returns the high-water mark of the wire's serialization
+// queue depth — the backpressure measurement of congestion scenarios.
+func (w *Wire) QueuePeak() uint64 { return w.pipe.QueuePeak }
 
 // FreeAt returns the earliest time a new Send would begin serializing.
 func (w *Wire) FreeAt() sim.Time { return w.pipe.FreeAt() }

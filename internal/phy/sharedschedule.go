@@ -81,6 +81,31 @@ func (s *SharedSchedule) GrantSpan(hops, max int) int {
 // events. It never consumes the schedule.
 func (s *SharedSchedule) CrossClean() bool { return s.ch.NextEvent() >= s.UnitBits }
 
+// CleanCrossings returns the distance to the next error event measured in
+// whole crossings, capped at max: the next n crossings are provably clean
+// and the caller may consume them in one AdvanceCrossings. Together the
+// two are the epoch-skip primitive — a Monte-Carlo loop jumps straight to
+// the struck crossing instead of walking every clean one, so its cost is
+// proportional to error events, not to flits×hops. A schedule that will
+// never fire (BER 0) reports max. Nothing is consumed.
+func (s *SharedSchedule) CleanCrossings(max int) int {
+	n := s.ch.NextEvent() / s.UnitBits
+	if n > max {
+		n = max
+	}
+	return n
+}
+
+// AdvanceCrossings consumes n clean crossings in one O(1) closed-form
+// step with no RNG draws — bitwise identical stream consumption to n
+// successive Advance calls. The caller must have obtained n from
+// CleanCrossings (advancing across a scheduled event panics).
+func (s *SharedSchedule) AdvanceCrossings(n int) {
+	if n > 0 {
+		s.ch.Advance(n * s.UnitBits)
+	}
+}
+
 // Advance consumes one clean crossing in O(1) with no RNG draws. The
 // caller must have checked CrossClean.
 func (s *SharedSchedule) Advance() { s.ch.Advance(s.UnitBits) }

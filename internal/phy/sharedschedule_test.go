@@ -126,3 +126,56 @@ func TestSharedScheduleGuards(t *testing.T) {
 		}()
 	}
 }
+
+// TestCleanCrossingsEpochSkipMatchesStepwise: jumping clean epochs with
+// CleanCrossings/AdvanceCrossings consumes exactly the stream a
+// crossing-by-crossing walk consumes — same struck crossings, same flip
+// counts, same channel accounting.
+func TestCleanCrossingsEpochSkipMatchesStepwise(t *testing.T) {
+	const unit = 2048
+	const crossings = 60000
+	s := NewSharedSchedule(1e-5, 0.4, NewRNG(9), unit)
+	ref := NewChannel(1e-5, 0.4, NewRNG(9))
+	struck := 0
+	for c := 0; c < crossings; {
+		k := s.CleanCrossings(crossings - c)
+		for j := 0; j < k; j++ {
+			if got := ref.Traverse(unit); got != 0 {
+				t.Fatalf("crossing %d: declared clean but reference flips %d bits", c+j, got)
+			}
+		}
+		s.AdvanceCrossings(k)
+		c += k
+		if c < crossings {
+			want := ref.Traverse(unit)
+			got := s.Traverse()
+			if got != want || got == 0 {
+				t.Fatalf("crossing %d: struck flips %d, reference %d (want equal, nonzero)", c, got, want)
+			}
+			struck++
+			c++
+		}
+	}
+	if struck == 0 {
+		t.Fatal("no struck crossing exercised")
+	}
+	sc := s.Channel()
+	if sc.BitsSeen != ref.BitsSeen || sc.BitsFlipped != ref.BitsFlipped || sc.ErrorEvents != ref.ErrorEvents {
+		t.Fatalf("accounting diverged: BitsSeen %d/%d BitsFlipped %d/%d ErrorEvents %d/%d",
+			sc.BitsSeen, ref.BitsSeen, sc.BitsFlipped, ref.BitsFlipped, sc.ErrorEvents, ref.ErrorEvents)
+	}
+}
+
+// TestCleanCrossingsZeroBER: a schedule that will never fire reports the
+// cap, and advancing by it consumes exactly that many crossings.
+func TestCleanCrossingsZeroBER(t *testing.T) {
+	s := NewSharedSchedule(0, 0, NewRNG(1), 2048)
+	if n := s.CleanCrossings(123); n != 123 {
+		t.Fatalf("CleanCrossings %d, want the cap 123", n)
+	}
+	s.AdvanceCrossings(123)
+	s.AdvanceCrossings(0) // no-op
+	if s.Channel().BitsSeen != 123*2048 {
+		t.Fatalf("BitsSeen %d", s.Channel().BitsSeen)
+	}
+}

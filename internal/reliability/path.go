@@ -63,18 +63,69 @@ func MeasureFERPath(ber float64, hops, flits int, seed uint64) PathFERSample {
 	}
 }
 
-// MeasureFERPathSchedule is MeasureFERPath on the shared path schedule:
-// whole clean traversals — at production BERs, hundreds at a time — are
-// consumed in one O(1) GrantSpan with zero RNG draws, and only struck
-// traversals walk their crossings individually (so corruption lands on
-// the per-hop unit exactly as the live mesh assigns it). The channel
-// consumes exactly the random stream MeasureFERPath would, so identical
-// seeds give identical samples — proven by
-// TestMeasureFERPathScheduleMatchesByteLevel — at a throughput within a
-// small factor of the single-link MeasureFERSchedule loop.
+// MeasureFERPathSchedule is MeasureFERPath on the shared path schedule
+// with full clean-epoch skipping: whole clean traversals — at production
+// BERs, hundreds at a time — are consumed in one O(1) GrantSpan with zero
+// RNG draws, and inside a struck traversal the loop jumps straight to the
+// struck crossing (CleanCrossings/AdvanceCrossings) instead of walking
+// each clean hop, so the per-traversal cost is proportional to error
+// events, not hops. Corruption still lands on the exact per-hop unit the
+// schedule assigns it (each event crossing goes through Traverse), and
+// the channel consumes exactly the random stream MeasureFERPath would, so
+// identical seeds give identical samples — proven by
+// TestMeasureFERPathScheduleMatchesByteLevel and pinned against the
+// frozen MeasureFERPathGrantWalk loop by
+// TestMeasureFERPathEpochSkipMatchesGrantWalk.
 func MeasureFERPathSchedule(ber float64, hops, flits int, seed uint64) PathFERSample {
 	if flits <= 0 || hops <= 0 {
 		panic("reliability: MeasureFERPathSchedule needs positive hops and flits")
+	}
+	s := phy.NewSharedSchedule(ber, 0, phy.NewRNG(seed), FlitBits)
+	bad := 0
+	for i := 0; i < flits; {
+		if n := s.GrantSpan(hops, flits-i); n > 0 {
+			i += n
+			continue
+		}
+		// Struck traversal: jump clean epochs, simulate only the struck
+		// crossings. h counts crossings consumed of this traversal.
+		struck := false
+		for h := 0; h < hops; {
+			k := s.CleanCrossings(hops - h)
+			s.AdvanceCrossings(k)
+			h += k
+			if h < hops {
+				if s.Traverse() > 0 {
+					struck = true
+				}
+				h++
+			}
+		}
+		if struck {
+			bad++
+		}
+		i++
+	}
+	return PathFERSample{
+		Hops:      hops,
+		Flits:     flits,
+		Erroneous: bad,
+		FER:       float64(bad) / float64(flits),
+		Analytic:  analyticPathFER(ber, hops),
+	}
+}
+
+// MeasureFERPathGrantWalk is the frozen pre-epoch-skip estimator loop:
+// GrantSpan for whole clean traversals, then a crossing-by-crossing walk
+// of every struck traversal — even its clean hops. It is kept verbatim as
+// the comparison baseline for BenchmarkMCEpochSkip and as a second
+// independent pin on MeasureFERPathSchedule's stream consumption (the two
+// must return identical samples for identical seeds; see
+// TestMeasureFERPathEpochSkipMatchesGrantWalk). New callers want
+// MeasureFERPathSchedule.
+func MeasureFERPathGrantWalk(ber float64, hops, flits int, seed uint64) PathFERSample {
+	if flits <= 0 || hops <= 0 {
+		panic("reliability: MeasureFERPathGrantWalk needs positive hops and flits")
 	}
 	s := phy.NewSharedSchedule(ber, 0, phy.NewRNG(seed), FlitBits)
 	bad := 0

@@ -369,8 +369,21 @@ type Pipe struct {
 	// BusyTime is the cumulative serialization occupancy, the numerator
 	// of link utilization.
 	BusyTime Time
-	// Sent counts payloads accepted.
+	// Sent counts payloads accepted (event-carried sends and reservations).
 	Sent uint64
+	// QueuePeak is the high-water mark of the serialization queue: the
+	// largest number of payloads simultaneously waiting for or occupying
+	// the wire, observed at claim time (the claiming payload included).
+	// Back-to-back claims each occupy exactly SerializationDelay, so the
+	// depth is the waiting time ahead of the claim divided by the
+	// serialization delay, rounded up, plus one.
+	QueuePeak uint64
+
+	inFlight int
+	// dispatchFn is the stable bound method delivering event-carried
+	// payloads (built lazily, one allocation per pipe) so every SendAt can
+	// decrement the in-flight count without a per-send closure.
+	dispatchFn func(interface{})
 }
 
 // Send enqueues payload for transmission. It returns the time at which the
@@ -378,26 +391,70 @@ type Pipe struct {
 // back-pressure.
 func (p *Pipe) Send(payload interface{}) Time { return p.SendAt(payload, 0) }
 
+// claim performs the wire-occupancy bookkeeping shared by SendAt and
+// Reserve: serialization starts at max(now, earliest, wire-free) and the
+// wire is busy until start+SerializationDelay. Returns the serialization
+// end time.
+func (p *Pipe) claim(earliest Time) Time {
+	floor := p.Engine.Now()
+	if earliest > floor {
+		floor = earliest
+	}
+	start := floor
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	depth := uint64(1)
+	if wait := p.busyUntil - floor; wait > 0 && p.SerializationDelay > 0 {
+		depth += uint64((wait + p.SerializationDelay - 1) / p.SerializationDelay)
+	}
+	if depth > p.QueuePeak {
+		p.QueuePeak = depth
+	}
+	end := start + p.SerializationDelay
+	p.busyUntil = end
+	p.BusyTime += p.SerializationDelay
+	p.Sent++
+	return end
+}
+
 // SendAt is Send with an earliest serialization start: the payload begins
 // serializing at max(now, earliest, wire-free). Switches use it to fold
 // their ingress-to-egress latency into the wire claim — the payload's
 // arrival time is identical to scheduling a separate forward event at
 // `earliest` and Sending then, without paying that event.
 func (p *Pipe) SendAt(payload interface{}, earliest Time) Time {
-	start := p.Engine.Now()
-	if earliest > start {
-		start = earliest
+	end := p.claim(earliest)
+	p.inFlight++
+	if p.dispatchFn == nil {
+		p.dispatchFn = p.dispatch
 	}
-	if p.busyUntil > start {
-		start = p.busyUntil
-	}
-	end := start + p.SerializationDelay
-	p.busyUntil = end
-	p.BusyTime += p.SerializationDelay
-	p.Sent++
-	p.Engine.AtArg(end+p.PropagationDelay, p.Sink, payload)
+	p.Engine.AtArg(end+p.PropagationDelay, p.dispatchFn, payload)
 	return end
 }
+
+func (p *Pipe) dispatch(payload interface{}) {
+	p.inFlight--
+	p.Sink(payload)
+}
+
+// Reserve claims the wire for one payload without carrying it through an
+// event: identical occupancy accounting to SendAt (busy window, BusyTime,
+// Sent, QueuePeak) but no delivery is scheduled and the payload never
+// counts as in flight. It returns the arrival time a SendAt at `earliest`
+// would have delivered at — the primitive behind express traversal, where
+// a whole route's wires are claimed up front and only the final arrival
+// becomes an engine event.
+func (p *Pipe) Reserve(earliest Time) (arrival Time) {
+	return p.claim(earliest) + p.PropagationDelay
+}
+
+// InFlight returns the number of payloads sent but not yet delivered to
+// the sink. Reservations are not counted: an express claim is timing-only,
+// while an in-flight payload is one whose downstream fate (forward, drop,
+// fall back) is still undecided — the distinction express eligibility is
+// built on.
+func (p *Pipe) InFlight() int { return p.inFlight }
 
 // FreeAt returns the earliest time a new Send would start serializing.
 func (p *Pipe) FreeAt() Time {

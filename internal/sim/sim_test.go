@@ -490,3 +490,89 @@ func TestFIFOLaneCompaction(t *testing.T) {
 		t.Fatalf("fifo backing array grew to %d slots for %d events; dispatched prefix not reclaimed", c, total)
 	}
 }
+
+// TestPipeReserveMatchesSendTiming: Reserve claims the wire exactly as
+// SendAt does — same serialization window, same busy accounting, same
+// arrival arithmetic — without scheduling a delivery event, so express
+// claims and hop-by-hop sends interleave on one wire with identical
+// timing in either order.
+func TestPipeReserveMatchesSendTiming(t *testing.T) {
+	e := NewEngine()
+	var arrivals []Time
+	p := &Pipe{Engine: e, SerializationDelay: 3, PropagationDelay: 7,
+		Sink: func(interface{}) { arrivals = append(arrivals, e.Now()) }}
+	a1 := p.Reserve(0)      // ser 0-3, arrival 10
+	end := p.SendAt("x", 0) // queues behind the claim: ser 3-6, arrival 13
+	a2 := p.Reserve(0)      // ser 6-9, arrival 16
+	if a1 != 10 || end != 6 || a2 != 16 {
+		t.Fatalf("reserve/send/reserve = %d/%d/%d, want 10/6/16", a1, end, a2)
+	}
+	e.Run()
+	if len(arrivals) != 1 || arrivals[0] != 13 {
+		t.Fatalf("send arrivals %v, want [13]", arrivals)
+	}
+	if p.Sent != 3 || p.BusyTime != 9 {
+		t.Fatalf("Sent %d BusyTime %d, want 3 and 9", p.Sent, p.BusyTime)
+	}
+}
+
+// TestPipeReserveHonorsEarliest: a reservation respects the earliest
+// bound the same way SendAt does.
+func TestPipeReserveHonorsEarliest(t *testing.T) {
+	e := NewEngine()
+	p := &Pipe{Engine: e, SerializationDelay: 2, PropagationDelay: 5, Sink: func(interface{}) {}}
+	if a := p.Reserve(100); a != 107 {
+		t.Fatalf("arrival %d, want 107", a)
+	}
+	if p.FreeAt() != 102 {
+		t.Fatalf("FreeAt %d, want 102", p.FreeAt())
+	}
+}
+
+// TestPipeInFlight: InFlight counts payloads sent but not yet delivered;
+// reservations never count (an express flit is not on this wire's event
+// queue — that is the point of reserving).
+func TestPipeInFlight(t *testing.T) {
+	e := NewEngine()
+	p := &Pipe{Engine: e, SerializationDelay: 2, PropagationDelay: 10, Sink: func(interface{}) {}}
+	if p.InFlight() != 0 {
+		t.Fatalf("idle InFlight %d", p.InFlight())
+	}
+	p.SendAt(1, 0)
+	p.Reserve(0)
+	if p.InFlight() != 1 {
+		t.Fatalf("InFlight %d after one send + one reserve, want 1", p.InFlight())
+	}
+	p.SendAt(2, 0)
+	if p.InFlight() != 2 {
+		t.Fatalf("InFlight %d after two sends, want 2", p.InFlight())
+	}
+	e.Run()
+	if p.InFlight() != 0 {
+		t.Fatalf("InFlight %d after drain, want 0", p.InFlight())
+	}
+}
+
+// TestPipeQueuePeak: QueuePeak records the deepest serialization backlog
+// (claiming flit included) and never decays as the queue drains.
+func TestPipeQueuePeak(t *testing.T) {
+	e := NewEngine()
+	p := &Pipe{Engine: e, SerializationDelay: 2, PropagationDelay: 1, Sink: func(interface{}) {}}
+	if p.QueuePeak != 0 {
+		t.Fatalf("initial QueuePeak %d", p.QueuePeak)
+	}
+	p.Send(1)
+	if p.QueuePeak != 1 {
+		t.Fatalf("QueuePeak %d after uncontended send, want 1", p.QueuePeak)
+	}
+	p.Send(2)
+	p.Send(3)
+	if p.QueuePeak != 3 {
+		t.Fatalf("QueuePeak %d after burst of 3, want 3", p.QueuePeak)
+	}
+	e.Run()
+	p.Send(4) // wire is idle again: depth 1, high-water mark stays
+	if p.QueuePeak != 3 {
+		t.Fatalf("QueuePeak %d after drain, want 3", p.QueuePeak)
+	}
+}

@@ -45,10 +45,34 @@ type Mesh struct {
 	out [][][meshDirs]*link.Wire
 	// locals[x][y] delivers flits addressed to node (x,y).
 	locals [][]func(*flit.Flit)
+	// localSink[x][y] is the stable engine-event form of locals[x][y]
+	// (release when unattached), shared by the hop-by-hop latency event
+	// and the express delivery event so neither allocates per flit.
+	localSink [][]func(interface{})
 	// ingress[x][y] is the wire a node uses to inject at its router.
 	ingress [][]*link.Wire
 
 	wires []*link.Wire
+
+	// noExpress disables the express traversal path, forcing every flit
+	// through per-hop forwarding events — the PR 5 baseline, kept for
+	// benchmarks and the express differential tests.
+	noExpress bool
+
+	// ExpressTraversals counts traversals collapsed into up-front wire
+	// claims plus a single delivery event; ExpressFallbacks counts
+	// routable traversals that paid per-hop events instead — a struck
+	// schedule window (the scheduled walk below), a scripted/volatile
+	// wire, an installed fault hook, or a fault-configured router.
+	// Identical between fast-path and byte-level runs — the express
+	// decision never consults the flit's fast-path marks.
+	ExpressTraversals uint64
+	ExpressFallbacks  uint64
+
+	// walkFn is the stable event sink of scheduled hop-by-hop walks
+	// (struck flits on express-eligible routes), bound once so each walk
+	// step carries only its *meshWalk payload.
+	walkFn func(interface{})
 
 	// wrap marks torus mode: the row/column rings close and routing takes
 	// the minimal direction around each ring.
@@ -99,6 +123,13 @@ type MeshConfig struct {
 	// routing-tag schedule keying, whole-traversal grants at the ingress
 	// wire — is unchanged; only the hop count of a traversal shrinks.
 	Wrap bool
+	// NoExpress disables the express traversal path: every flit pays one
+	// engine event per hop as in PR 5. Express changes the order in which
+	// wires are claimed under cross-traffic (the whole route is claimed
+	// at injection), so this is a model switch, not an optimization
+	// toggle — but on same-path-only traffic the two produce identical
+	// timing, which the express tests pin.
+	NoExpress bool
 }
 
 // DefaultMeshConfig returns NoC-scale timing: 2 ns flits, 1 ns hops,
@@ -118,7 +149,10 @@ func NewMesh(eng *sim.Engine, w, h int, cfg MeshConfig) *Mesh {
 	if w < 1 || h < 1 || w*h > 256 {
 		panic(fmt.Sprintf("switchfab: mesh %dx%d out of range", w, h))
 	}
-	m := &Mesh{W: w, H: h, Eng: eng, wrap: cfg.Wrap, berScale: 1}
+	m := &Mesh{W: w, H: h, Eng: eng, wrap: cfg.Wrap, berScale: 1, noExpress: cfg.NoExpress}
+	if !cfg.NoExpress {
+		m.walkFn = m.walkStep
+	}
 	if cfg.BER > 0 {
 		m.paths = make(map[uint16]*phy.SharedSchedule)
 		m.pathRNG = phy.NewRNG(cfg.Seed)
@@ -129,14 +163,25 @@ func NewMesh(eng *sim.Engine, w, h int, cfg MeshConfig) *Mesh {
 	m.Routers = make([][]*Switch, w)
 	m.out = make([][][meshDirs]*link.Wire, w)
 	m.locals = make([][]func(*flit.Flit), w)
+	m.localSink = make([][]func(interface{}), w)
 	m.ingress = make([][]*link.Wire, w)
 	for x := 0; x < w; x++ {
 		m.Routers[x] = make([]*Switch, h)
 		m.out[x] = make([][meshDirs]*link.Wire, h)
 		m.locals[x] = make([]func(*flit.Flit), h)
+		m.localSink[x] = make([]func(interface{}), h)
 		m.ingress[x] = make([]*link.Wire, h)
 		for y := 0; y < h; y++ {
 			m.Routers[x][y] = NewSwitch(fmt.Sprintf("R%d.%d", x, y), eng, cfg.Mode, cfg.RouterLatency, nil)
+			x, y := x, y
+			m.localSink[x][y] = func(p interface{}) {
+				f := p.(*flit.Flit)
+				if m.locals[x][y] != nil {
+					m.locals[x][y](f)
+				} else {
+					flit.Release(f)
+				}
+			}
 		}
 	}
 
@@ -268,20 +313,286 @@ func (m *Mesh) SetPathBERScale(scale float64) {
 // of the XY route — this ingress wire plus the Manhattan distance to the
 // destination router; flits with an unroutable destination consume one
 // crossing and die at this router.
+//
+// A flit that wins the whole-traversal grant (or rides a clean BER-0
+// mesh, where every traversal is trivially clean) has fully deterministic
+// mesh timing, so the traversal tries to go express: claim every wire of
+// the route up front and schedule exactly one delivery event. A struck
+// flit on the same (express-eligible) route claims its wires up front too
+// but walks them with per-hop events (scheduleWalk) — byte work happens
+// at each hop, only the claim timing moves to injection, which is what
+// keeps every claim on a path in injection order. Routes express cannot
+// claim fall back to the lazy per-hop pipeline below. The express
+// decision depends only on the grant verdict and route state — never on
+// the flit's fast-path marks — so fast-path and byte-level runs take it
+// identically.
 func (m *Mesh) injectArrival(x, y int) func(*flit.Flit) {
 	pipeline := m.routerIngress(x, y)
-	if m.paths == nil {
+	if m.paths == nil && m.noExpress {
 		return pipeline
 	}
 	return func(f *flit.Flit) {
+		// Both routing tags are read before the injection crossing can
+		// corrupt the image: the express decision and the schedule key use
+		// the flit's true path identity.
 		src := f.Payload()[flit.SrcRouteOffset]
 		dst := f.Payload()[flit.RouteOffset]
+		dx, dy, ok := m.nodeXY(dst)
 		hops := 1
-		if dx, dy, ok := m.nodeXY(dst); ok {
+		if ok {
 			hops = m.HopsBetween(x, y, dx, dy)
 		}
-		link.BeginPathTraversal(m.pathSched(src, dst), m.fec, f, hops)
+		granted := true
+		if m.paths != nil {
+			granted = link.BeginPathTraversal(m.pathSched(src, dst), m.fec, f, hops)
+		}
+		if ok && !m.noExpress {
+			if granted && m.expressTraverse(f, x, y, dx, dy) {
+				m.ExpressTraversals++
+				return
+			}
+			m.ExpressFallbacks++
+			if !granted && m.scheduleWalk(f, x, y, dx, dy) {
+				return
+			}
+		}
 		pipeline(f)
+	}
+}
+
+// meshWalk is the event payload of a scheduled hop-by-hop walk: a struck
+// flit on an express-eligible route. Its wires were all claimed at
+// injection (claim order identical to express), but it still pays one
+// event per hop at the pre-reserved arrival times, crossing its path
+// schedule and terminating FEC at every router like the lazy pipeline.
+type meshWalk struct {
+	f      *flit.Flit
+	cx, cy int // router the next walkStep arrives at
+	dx, dy int // destination router, fixed at injection (source routing)
+	i      int // index into times of the current step
+	times  []sim.Time
+}
+
+// scheduleWalk carries a struck (ungranted) flit through the mesh with
+// its whole route claimed at injection: eligibility is exactly express's,
+// so on any eligible path *every* flit — granted express or struck walk —
+// claims its wires in injection order, which is what keeps per-path
+// delivery in order (ISN's ground rule) without express ever blocking
+// behind a draining traversal. The flit still pays one event per hop at
+// the pre-reserved arrival times, where it crosses the path schedule and
+// terminates FEC byte-for-byte like the lazy pipeline; only the claim
+// *timing* moved to injection, and sim.Pipe's claim floor is
+// max(now, earliest), so the reserved windows — and every queue-depth
+// statistic — are identical to the lazy claims on uncontended paths.
+//
+// The route is fixed here from the pre-crossing routing tags (source
+// routing): corruption that rewrites the route bytes in flight changes
+// which schedule later crossings consume — same as the lazy pipeline —
+// but not the wires the flit occupies. Returns false, having claimed
+// nothing, when the route is not express-eligible; the caller falls back
+// to the lazy hop-by-hop pipeline.
+func (m *Mesh) scheduleWalk(f *flit.Flit, x, y, dx, dy int) bool {
+	cx, cy := x, y
+	hops := 0
+	for {
+		r := m.Routers[cx][cy]
+		if r.InternalHook != nil || r.InternalBitFlipProb > 0 {
+			return false
+		}
+		d := m.routeDir(cx, cy, dx, dy)
+		if d < 0 {
+			break
+		}
+		w := m.out[cx][cy][d]
+		if w == nil || !w.ExpressClaimable() {
+			return false
+		}
+		hops++
+		cx, cy = m.neighbor(cx, cy, d)
+	}
+	if hops == 0 {
+		// Local delivery at the injection router: nothing to claim, the
+		// lazy pipeline handles it identically.
+		return false
+	}
+	// Injection router: processed now, synchronously — exactly when the
+	// lazy pipeline would run it. A struck flit may already be corrupt;
+	// an uncorrectable drop here has claimed nothing.
+	r := m.Routers[x][y]
+	if !r.process(f) {
+		flit.Release(f)
+		return true
+	}
+	r.Stats.Forwarded++
+	// Claim walk: reserve every route wire up front in route order.
+	wk := &meshWalk{f: f, dx: dx, dy: dy, times: make([]sim.Time, 0, hops)}
+	arrive := m.Eng.Now()
+	cx, cy = x, y
+	for {
+		d := m.routeDir(cx, cy, dx, dy)
+		if d < 0 {
+			break
+		}
+		arrive = m.out[cx][cy][d].Reserve(arrive + m.Routers[cx][cy].Latency)
+		wk.times = append(wk.times, arrive)
+		cx, cy = m.neighbor(cx, cy, d)
+	}
+	wk.cx, wk.cy = m.neighbor(x, y, m.routeDir(x, y, dx, dy))
+	m.Eng.AtArg(wk.times[0], m.walkFn, wk)
+	return true
+}
+
+// walkStep is one router arrival of a scheduled walk: cross the path
+// schedule, terminate FEC, then deliver locally or chain the next step at
+// its pre-reserved time. Scheduling each step from its predecessor — not
+// all at once at injection — keeps the engine's (time, schedule-order)
+// trajectory aligned with the lazy pipeline's, and means a flit dropped
+// mid-walk leaves no dangling event behind.
+func (m *Mesh) walkStep(p interface{}) {
+	wk := p.(*meshWalk)
+	f := wk.f
+	if m.paths != nil && !f.TakePathPass() {
+		// Same consumption as hopArrival: the possibly-corrupted tags
+		// choose the schedule.
+		src := f.Payload()[flit.SrcRouteOffset]
+		dst := f.Payload()[flit.RouteOffset]
+		link.CrossPathUnit(m.pathSched(src, dst), m.fec, f)
+	}
+	r := m.Routers[wk.cx][wk.cy]
+	if !r.process(f) {
+		flit.Release(f)
+		return
+	}
+	d := m.routeDir(wk.cx, wk.cy, wk.dx, wk.dy)
+	if d < 0 {
+		r.Stats.DeliveredLocal++
+		sink := m.localSink[wk.cx][wk.cy]
+		if r.Latency > 0 {
+			m.Eng.ScheduleArg(r.Latency, sink, f)
+		} else {
+			sink(f)
+		}
+		return
+	}
+	r.Stats.Forwarded++
+	wk.i++
+	wk.cx, wk.cy = m.neighbor(wk.cx, wk.cy, d)
+	m.Eng.AtArg(wk.times[wk.i], m.walkFn, wk)
+}
+
+// routeDir is the dimension-ordered routing decision at router (cx,cy)
+// for destination router (dx,dy): an egress direction, or -1 for local
+// delivery. It mirrors routerIngress exactly, so an express walk visits
+// precisely the routers and wires the hop-by-hop path would.
+func (m *Mesh) routeDir(cx, cy, dx, dy int) int {
+	if sx := m.dimStep(cx, dx, m.W); sx > 0 {
+		return dirEast
+	} else if sx < 0 {
+		return dirWest
+	}
+	if sy := m.dimStep(cy, dy, m.H); sy > 0 {
+		return dirSouth
+	} else if sy < 0 {
+		return dirNorth
+	}
+	return -1
+}
+
+// neighbor returns the router that the direction-d egress wire of (cx,cy)
+// lands on, wraparound included.
+func (m *Mesh) neighbor(cx, cy, d int) (int, int) {
+	switch d {
+	case dirEast:
+		if cx++; cx == m.W {
+			cx = 0
+		}
+	case dirWest:
+		if cx--; cx < 0 {
+			cx = m.W - 1
+		}
+	case dirSouth:
+		if cy++; cy == m.H {
+			cy = 0
+		}
+	case dirNorth:
+		if cy--; cy < 0 {
+			cy = m.H - 1
+		}
+	}
+	return cx, cy
+}
+
+// expressTraverse attempts the express path for a granted traversal from
+// router (x,y) to router (dx,dy): claim every wire on the route up front,
+// run each router's pipeline inline, and schedule one delivery event at
+// the analytically-known arrival time. Returns false — having claimed
+// nothing — when the route is not express-eligible, so the caller falls
+// back to hop-by-hop with no state to unwind.
+//
+// Eligibility (checked before any claim):
+//
+//   - No route router carries an internal fault point (hook or
+//     probabilistic flip): process() must stay deterministic and
+//     RNG-silent when run at claim time instead of arrival time.
+//   - Every route wire is ExpressClaimable — no wire-attached error
+//     model, no fault hook installed or pending (volatile wires marked by
+//     fault scripts). In-flight flits do not block: on an eligible path
+//     every flit claims its wires at injection (granted flits here,
+//     struck flits via scheduleWalk), so claims — and therefore per-wire
+//     serialization and per-path delivery — follow injection order, which
+//     is ISN's in-order contract. Eligibility is a property of the route,
+//     not the flit, so a path is never in a mixed claim regime.
+//
+// The claim math per hop is exactly the SendAfter fold — serialization
+// starts at max(arrival+latency, wire-free) — so on same-path-only
+// traffic express timing is bit-identical to hop-by-hop. Under
+// cross-traffic the claim *order* changes (the whole route is claimed at
+// injection), which is a change to the fabric model itself and, like the
+// PR 5 grant policy, applies identically to fast-path and byte-level
+// runs.
+func (m *Mesh) expressTraverse(f *flit.Flit, x, y, dx, dy int) bool {
+	cx, cy := x, y
+	for {
+		r := m.Routers[cx][cy]
+		if r.InternalHook != nil || r.InternalBitFlipProb > 0 {
+			return false
+		}
+		d := m.routeDir(cx, cy, dx, dy)
+		if d < 0 {
+			break
+		}
+		w := m.out[cx][cy][d]
+		if w == nil || !w.ExpressClaimable() {
+			return false
+		}
+		cx, cy = m.neighbor(cx, cy, d)
+	}
+	// Claim walk. Running process() at claim time is unobservable: for an
+	// eligible route it touches only the flit image and the router stats,
+	// draws no RNG, and cannot drop a granted (hence uncorrupted,
+	// CRC-valid) flit.
+	arrive := m.Eng.Now()
+	cx, cy = x, y
+	for {
+		r := m.Routers[cx][cy]
+		if !r.process(f) {
+			// Unreachable for eligible routes; keep the drop semantics in
+			// case a future pipeline stage can reject clean flits.
+			flit.Release(f)
+			return true
+		}
+		d := m.routeDir(cx, cy, dx, dy)
+		if d < 0 {
+			r.Stats.DeliveredLocal++
+			m.Eng.AtArg(arrive+r.Latency, m.localSink[cx][cy], f)
+			return true
+		}
+		r.Stats.Forwarded++
+		if m.paths != nil {
+			f.TakePathPass()
+		}
+		arrive = m.out[cx][cy][d].Reserve(arrive + r.Latency)
+		cx, cy = m.neighbor(cx, cy, d)
 	}
 }
 
@@ -381,16 +692,10 @@ func (m *Mesh) InterRouterWire(x1, y1, x2, y2 int) *link.Wire {
 // latency event so the node still receives at arrival+Latency.
 func (m *Mesh) routerIngress(x, y int) func(*flit.Flit) {
 	r := m.Routers[x][y]
-	// One stable local-delivery sink per router, so the per-flit latency
-	// schedule carries only the flit instead of allocating a closure.
-	deliverLocal := func(p interface{}) {
-		f := p.(*flit.Flit)
-		if m.locals[x][y] != nil {
-			m.locals[x][y](f)
-		} else {
-			flit.Release(f)
-		}
-	}
+	// The stable local-delivery sink per router (shared with the express
+	// delivery event), so the per-flit latency schedule carries only the
+	// flit instead of allocating a closure.
+	deliverLocal := m.localSink[x][y]
 	return func(f *flit.Flit) {
 		if !r.process(f) {
 			flit.Release(f)
@@ -441,8 +746,11 @@ func (m *Mesh) forwardTo(r *Switch, f *flit.Flit, w *link.Wire) {
 	w.SendAfter(f, m.Eng.Now()+r.Latency)
 }
 
-// TotalStats sums statistics across every router.
+// TotalStats sums statistics across every router (QueuePeak aggregates by
+// max — it is a depth, not a count). Wire-held queue peaks are synced into
+// the router stats first.
 func (m *Mesh) TotalStats() Stats {
+	m.SyncQueuePeaks()
 	var t Stats
 	for _, col := range m.Routers {
 		for _, r := range col {
@@ -455,9 +763,49 @@ func (m *Mesh) TotalStats() Stats {
 			t.CorrectedFlits += r.Stats.CorrectedFlits
 			t.CorrectedSymbols += r.Stats.CorrectedSymbols
 			t.InternalCorruptions += r.Stats.InternalCorruptions
+			if r.Stats.QueuePeak > t.QueuePeak {
+				t.QueuePeak = r.Stats.QueuePeak
+			}
 		}
 	}
 	return t
+}
+
+// SyncQueuePeaks folds each router's wire queue high-water marks into its
+// Stats.QueuePeak: the max across the router's egress wires and its
+// node-ingress wire (the node's injection backlog). Queue depth lives on
+// the wires — the mesh is output-queued, a forward queues on the egress
+// wire's serialization window — so the per-switch counter is derived
+// rather than incremented inline. Express reservations use the same claim
+// accounting as hop-by-hop sends, so the peaks are identical across
+// express, fast-path, and byte-level runs.
+func (m *Mesh) SyncQueuePeaks() {
+	for x := 0; x < m.W; x++ {
+		for y := 0; y < m.H; y++ {
+			p := m.ingress[x][y].QueuePeak()
+			for d := 0; d < meshDirs; d++ {
+				if w := m.out[x][y][d]; w != nil && w.QueuePeak() > p {
+					p = w.QueuePeak()
+				}
+			}
+			m.Routers[x][y].Stats.QueuePeak = p
+		}
+	}
+}
+
+// NodeQueuePeaks returns the per-node queue-depth high-water marks,
+// indexed [y][x] (rows of the mesh, matching node-ID order) — the real
+// backpressure numbers of the single-sink/incast scenarios.
+func (m *Mesh) NodeQueuePeaks() [][]uint64 {
+	m.SyncQueuePeaks()
+	out := make([][]uint64, m.H)
+	for y := 0; y < m.H; y++ {
+		out[y] = make([]uint64, m.W)
+		for x := 0; x < m.W; x++ {
+			out[y][x] = m.Routers[x][y].Stats.QueuePeak
+		}
+	}
+	return out
 }
 
 // HookDrops sums the flits silently dropped by scripted fault hooks

@@ -60,6 +60,13 @@ type Stats struct {
 	CorrectedFlits       uint64
 	CorrectedSymbols     uint64
 	InternalCorruptions  uint64 // injected internal faults
+	// QueuePeak is the high-water mark of the switch's output queues —
+	// the deepest serialization backlog any of its egress wires (or, for
+	// mesh routers, its node-ingress wire) ever reached, in flits. It is
+	// the per-node backpressure number of the incast/single-sink
+	// scenarios; mesh fabrics fold it in via Mesh.SyncQueuePeaks. In
+	// totals it aggregates by max, not sum.
+	QueuePeak uint64
 }
 
 // Switch is a single switching element processing flits between two

@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# Tiered verification ladder. Every CI job calls one rung of this script,
+# so the exact commands CI enforces are runnable (and debuggable) locally:
+#
+#   scripts/verify.sh --level=unit          # vet + build + tests + bench smoke
+#   scripts/verify.sh --level=race          # race-detector subset + fuzz corpus
+#   scripts/verify.sh --level=differential  # scenario-grid fast/slow scan
+#   scripts/verify.sh --level=smoke         # rxld HTTP serving-contract drill
+#   scripts/verify.sh --level=bench         # gated benchmark suite + benchgate
+#   scripts/verify.sh --level=all           # the whole ladder, bottom to top
+#
+# The bench rung leaves its raw output in bench.txt so CI can package it
+# as the commit-keyed artifact that becomes the next BENCH_baseline.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+level=unit
+for arg in "$@"; do
+  case "$arg" in
+    --level=*) level="${arg#--level=}" ;;
+    *)
+      echo "usage: $0 [--level=unit|race|differential|smoke|bench|all]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+run() {
+  echo "+ $*" >&2
+  "$@"
+}
+
+rung_unit() {
+  run go vet ./...
+  run go build ./...
+  run go test ./...
+  # Benchmark smoke: one iteration of everything, so a benchmark that no
+  # longer compiles or trips its own assertions fails fast here rather
+  # than in the (slow) bench rung.
+  run go test -run '^$' -bench . -benchtime 1x ./...
+}
+
+rung_race() {
+  run go test -race ./internal/runner/ ./internal/core/ ./internal/reliability/... \
+    ./internal/service/ ./internal/workload/ ./internal/trace/ ./cmd/rxlsim/ .
+  # Fuzz seed corpus (replay parsing only, no long fuzzing).
+  run go test -run 'Fuzz.*' ./internal/trace/
+}
+
+rung_differential() {
+  # Sweep the built-in topology x workload x fault grid through the
+  # fast-path/byte-level differential; any diverging cell (or
+  # non-exactly-once RXL delivery) exits non-zero.
+  run go run ./cmd/rxlsim -scan -scan-n 25 -ber 1e-5
+}
+
+rung_smoke() {
+  # Boot the real daemon on a random port, drive the HTTP API the way an
+  # operator would, and assert the serving contract — the repeat of an
+  # identical job must be a cache hit with a byte-identical result.
+  run go build -o rxld ./cmd/rxld
+  ./rxld -addr 127.0.0.1:0 -addr-file rxld.addr &
+  RXLD_PID=$!
+  trap 'kill "$RXLD_PID" 2>/dev/null || true' EXIT
+  for _ in $(seq 50); do [ -s rxld.addr ] && break; sleep 0.2; done
+  ADDR=$(cat rxld.addr)
+  echo "daemon at $ADDR"
+
+  curl -fsS "http://$ADDR/v1/healthz" | jq -e '.ok == true'
+
+  SPEC='{"kind":"grid","seed":1,"grid":{"Base":{"Protocol":2,"Levels":1,"BER":1e-6},"N":2000}}'
+  FIRST=$(curl -fsS -X POST "http://$ADDR/v1/jobs" -d "$SPEC")
+  echo "$FIRST" | jq '{id, status, cached}'
+  ID=$(echo "$FIRST" | jq -r .id)
+
+  DONE=$(curl -fsS "http://$ADDR/v1/jobs/$ID?wait=60000")
+  test "$(echo "$DONE" | jq -r .status)" = done
+
+  SECOND=$(curl -fsS -X POST "http://$ADDR/v1/jobs" -d "$SPEC")
+  echo "$SECOND" | jq '{id, status, cached}'
+  test "$(echo "$SECOND" | jq -r .cached)" = true
+  test "$(echo "$SECOND" | jq -r .status)" = done
+
+  # Byte-identical result documents between the computed first run and
+  # the cached repeat.
+  echo "$DONE" | jq -cS .result >r1.json
+  echo "$SECOND" | jq -cS .result >r2.json
+  cmp r1.json r2.json
+
+  curl -fsS "http://$ADDR/v1/statsz" | tee statsz.json | jq .
+  jq -e '.cache.hits >= 1 and .jobs_completed >= 2' statsz.json
+
+  kill "$RXLD_PID"
+  trap - EXIT
+}
+
+rung_bench() {
+  # Separate invocations so each benchmark gets enough wall time per rep:
+  # FlitTransfer/MeshTransfer/MeshExpress ops are ~0.3-20µs (20000x), the
+  # MC inner loop is ~8ms/op (100x is already ~1s/rep), the MC epoch-skip
+  # legs span 300ns-350µs/op (2000x keeps the slow leg ~0.7s/rep), the
+  # engine pump is ~20ns/op (2000000x), the CRC kernels are 0.1-2.5µs
+  # (200000x).
+  run go test -run '^$' -bench 'FlitTransfer' \
+    -count 5 -benchtime 20000x -benchmem . | tee bench.txt
+  run go test -run '^$' -bench 'MeshTransferFastPath' \
+    -count 5 -benchtime 20000x -benchmem . | tee -a bench.txt
+  run go test -run '^$' -bench 'MeshExpressTraversal' \
+    -count 5 -benchtime 20000x -benchmem . | tee -a bench.txt
+  run go test -run '^$' -bench 'EngineBulkAdvance' \
+    -count 5 -benchtime 2000000x -benchmem . | tee -a bench.txt
+  run go test -run '^$' -bench 'MCInnerLoopFastPath' \
+    -count 5 -benchtime 100x -benchmem . | tee -a bench.txt
+  run go test -run '^$' -bench 'MCEpochSkip' \
+    -count 5 -benchtime 2000x -benchmem . | tee -a bench.txt
+  run go test -run '^$' -bench 'CRCSlicing' \
+    -count 5 -benchtime 200000x -benchmem . | tee -a bench.txt
+
+  jq -r '.output' BENCH_baseline.json >baseline.txt
+  if command -v benchstat >/dev/null; then
+    benchstat baseline.txt bench.txt || true
+  fi
+
+  # Two legs: geomean ns/op vs the committed baseline (absolute, carries
+  # runner-fleet noise — hence geomean over count=5 averages), plus
+  # machine-invariant within-run ratio floors so the fast-path, express,
+  # and epoch-skip wins are gated even when absolute timings drift with
+  # the runner's CPU model.
+  run go run ./cmd/benchgate -baseline baseline.txt -current bench.txt \
+    -max-regress 0.15 \
+    -min-ratio 'BenchmarkFlitTransfer/bytelevel,BenchmarkFlitTransfer/fastpath,5' \
+    -min-ratio 'BenchmarkMeshTransferFastPath/bytelevel,BenchmarkMeshTransferFastPath/fastpath,5' \
+    -min-ratio 'BenchmarkMeshExpressTraversal/fastpath,BenchmarkMeshExpressTraversal/express,1.05' \
+    -min-ratio 'BenchmarkMCEpochSkip/pr5-ber1e6,BenchmarkMCEpochSkip/epoch-ber1e9,5' \
+    -min-ratio 'BenchmarkCRCSlicing/table,BenchmarkCRCSlicing/by16,4'
+}
+
+case "$level" in
+unit) rung_unit ;;
+race) rung_race ;;
+differential) rung_differential ;;
+smoke) rung_smoke ;;
+bench) rung_bench ;;
+all)
+  rung_unit
+  rung_race
+  rung_differential
+  rung_smoke
+  rung_bench
+  ;;
+*)
+  echo "unknown level '$level' (want unit|race|differential|smoke|bench|all)" >&2
+  exit 2
+  ;;
+esac
+
+echo "verify: level '$level' passed" >&2
