@@ -1,0 +1,26 @@
+# Build rxld (the experiment-serving daemon / fleet front) into a small
+# runtime image. The same image serves every fleet role — member, front,
+# or standalone — selected purely by flags, so one build feeds the whole
+# docker-compose fleet fixture.
+#
+#   docker build -t rxld .
+#   docker run --rm -p 8080:8080 rxld -addr 0.0.0.0:8080
+#
+# See docker-compose.yml for the 3-daemon + front fleet and OPERATIONS.md
+# for the runbook.
+
+FROM golang:1.23-alpine AS build
+WORKDIR /src
+# The module is dependency-free (stdlib only), so copying go.mod first
+# and the tree second still gives maximal layer reuse.
+COPY go.mod ./
+RUN go mod download
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /rxld ./cmd/rxld
+
+FROM alpine:3.20
+# wget ships in busybox — used by the compose healthcheck.
+COPY --from=build /rxld /usr/local/bin/rxld
+EXPOSE 8080
+ENTRYPOINT ["rxld"]
+CMD ["-addr", "0.0.0.0:8080"]

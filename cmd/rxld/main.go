@@ -1,18 +1,36 @@
 // Command rxld is the experiment-serving daemon: a long-running HTTP
-// server that accepts sweep, grid, rare-event, protocol-comparison, and
-// rare-selfcheck jobs as JSON — every workload the one-shot CLIs run —
-// deduplicates them through a content-addressed result cache, and runs
-// misses on an admission-controlled scheduler whose total shard
-// concurrency never exceeds the configured budget.
+// server that accepts sweep, grid, rare-event, protocol-comparison,
+// rare-selfcheck, and scenario jobs as JSON — every workload the
+// one-shot CLIs run — deduplicates them through a content-addressed
+// result cache, and runs misses on an admission-controlled scheduler
+// whose total shard concurrency never exceeds the configured budget.
 //
 // Usage:
 //
 //	rxld [-addr 127.0.0.1:8080] [-budget 0] [-queue 64] [-cache 256]
 //	     [-spill DIR] [-job-workers 0] [-addr-file PATH]
+//	     [-fleet-self URL -fleet-peers URL,URL,...]     # fleet member
+//	rxld -fleet URL,URL,... [-addr ...] [-addr-file ...] # fleet front
 //
 // The bound address is printed on startup (and written to -addr-file when
 // given), so -addr 127.0.0.1:0 picks a free port scriptably — the CI
 // smoke job starts the daemon exactly that way.
+//
+// Fleet modes (see DESIGN.md §14 and OPERATIONS.md):
+//
+//   - Member: -fleet-self/-fleet-peers make this daemon part of a
+//     consistent-hash fleet. On a cache miss it first asks the key's
+//     ring owner for the bytes (GET /v1/cache/{key}, joining the
+//     owner's in-flight computation when there is one) and only
+//     computes when no peer has them. /v1/statsz grows a "fleet"
+//     section (ring size, peer hits/misses/served).
+//
+//   - Front: -fleet runs a stateless router instead of a daemon. Every
+//     submission is normalized, keyed, and forwarded to its owner —
+//     hot keys are spread over a replica set — and job handles carry a
+//     peer prefix ("p1~j000042-...") so GET/DELETE/events find the
+//     daemon that issued them. No engines, no cache, restartable at
+//     will.
 //
 // API quickstart:
 //
@@ -21,19 +39,16 @@
 //	  "kind": "grid", "seed": 1,
 //	  "grid": {"Base": {"Protocol": 2, "Levels": 1, "BER": 1e-6}, "N": 5000}
 //	}'
-//	curl -s -X POST localhost:8080/v1/jobs -d '{
-//	  "kind": "comparison", "seed": 1,
-//	  "comparison": {"base": {"Levels": 1, "BER": 1e-6}, "n": 5000}
-//	}'
 //	curl -s localhost:8080/v1/jobs/<id>?wait=30000
 //	curl -N localhost:8080/v1/jobs/<id>/events
 //	curl -s localhost:8080/v1/statsz
 //
 // Repeating the POST answers from the cache ("cached": true) with
 // byte-identical results — every engine is deterministic per (spec,
-// seed), so the cache can never serve a stale answer. Finished job
-// fetches carry an ETag (the job's content address); repeat GETs with
-// If-None-Match are answered 304 without re-sending the result document.
+// seed), so the cache can never serve a stale answer, and in a fleet
+// every daemon computes the same bytes, so routing can never change a
+// result. Finished job fetches carry an ETag (the job's content
+// address); repeat GETs with If-None-Match are answered 304.
 package main
 
 import (
@@ -46,9 +61,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/service"
 )
 
@@ -61,33 +78,91 @@ func main() {
 		cacheSize  = flag.Int("cache", 256, "in-memory result cache entries (LRU)")
 		spillDir   = flag.String("spill", "", "directory for cache disk spill (empty = memory only)")
 		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
+
+		front     = flag.String("fleet", "", "run as fleet front: comma-separated daemon base URLs to route over (no local engines)")
+		fleetSelf = flag.String("fleet-self", "", "this daemon's base URL within the fleet (member mode; requires -fleet-peers)")
+		peersCSV  = flag.String("fleet-peers", "", "comma-separated base URLs of every fleet daemon, self included (member mode)")
+		vnodes    = flag.Int("fleet-vnodes", 0, "virtual nodes per peer on the consistent-hash ring (0 = 128; must match fleet-wide)")
+		hotThresh = flag.Int("fleet-hot-threshold", 0, "front: decayed repeat count that promotes a key to its replica set (0 = 32, negative disables)")
+		hotRepl   = flag.Int("fleet-hot-replicas", 0, "front: distinct owners a hot key spreads over (0 = 2)")
+		fetchWait = flag.Duration("fleet-fetch-wait", 0, "member: how long a peer fetch may join the owner's in-flight computation (0 = 10s)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *addrFile, service.Config{
-		ShardBudget:       *budget,
-		DefaultJobWorkers: *jobWorkers,
-		QueueDepth:        *queue,
-		CacheEntries:      *cacheSize,
-		SpillDir:          *spillDir,
-	}); err != nil {
+	if *front != "" && (*fleetSelf != "" || *peersCSV != "") {
+		fmt.Fprintln(os.Stderr, "rxld: -fleet (front mode) and -fleet-self/-fleet-peers (member mode) are mutually exclusive")
+		os.Exit(2)
+	}
+	if (*fleetSelf == "") != (*peersCSV == "") {
+		fmt.Fprintln(os.Stderr, "rxld: member mode needs both -fleet-self and -fleet-peers")
+		os.Exit(2)
+	}
+
+	var err error
+	if *front != "" {
+		err = runFront(*addr, *addrFile, fleet.FrontConfig{
+			Peers:        splitCSV(*front),
+			VNodes:       *vnodes,
+			HotThreshold: *hotThresh,
+			HotReplicas:  *hotRepl,
+		})
+	} else {
+		cfg := service.Config{
+			ShardBudget:       *budget,
+			DefaultJobWorkers: *jobWorkers,
+			QueueDepth:        *queue,
+			CacheEntries:      *cacheSize,
+			SpillDir:          *spillDir,
+		}
+		if *fleetSelf != "" {
+			peers := splitCSV(*peersCSV)
+			fetcher, ferr := fleet.NewFetcher(fleet.FetchConfig{
+				Self:   *fleetSelf,
+				Peers:  peers,
+				VNodes: *vnodes,
+				Wait:   *fetchWait,
+			})
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, ferr)
+				os.Exit(1)
+			}
+			cfg.PeerFetch = fetcher.Fetch
+			cfg.FleetInfo = &service.FleetInfo{
+				Self:     *fleetSelf,
+				Peers:    len(fetcher.Ring().Peers()),
+				RingSize: fetcher.Ring().Size(),
+				Replicas: fetcher.Candidates(),
+			}
+		}
+		err = run(*addr, *addrFile, cfg)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, addrFile string, cfg service.Config) error {
-	srv, err := service.New(cfg)
-	if err != nil {
-		return err
+// splitCSV splits a comma-separated flag, trimming blanks.
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
 	}
+	return out
+}
 
+// serve binds addr, announces it, and runs handler until SIGINT/SIGTERM,
+// then drains connections and calls shutdown. Shared by both modes so a
+// front and a member behave identically as processes.
+func serve(addr, addrFile, role string, handler http.Handler, shutdown func()) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	bound := ln.Addr().String()
-	log.Printf("rxld listening on %s", bound)
+	log.Printf("rxld %s listening on %s", role, bound)
 	if addrFile != "" {
 		if err := os.WriteFile(addrFile, []byte(bound), 0o644); err != nil {
 			ln.Close()
@@ -95,7 +170,7 @@ func run(addr, addrFile string, cfg service.Config) error {
 		}
 	}
 
-	hs := &http.Server{Handler: srv}
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -104,21 +179,47 @@ func run(addr, addrFile string, cfg service.Config) error {
 
 	select {
 	case err := <-errc:
-		srv.Close()
+		shutdown()
 		return err
 	case s := <-sig:
-		log.Printf("rxld: %v — draining", s)
+		log.Printf("rxld %s: %v — draining", role, s)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("rxld: shutdown: %v", err)
+		log.Printf("rxld %s: shutdown: %v", role, err)
 	}
-	srv.Close()
-	st := srv.Stats()
-	log.Printf("rxld: served %d jobs (%d dedup), cache %d/%d hit rate %.1f%%",
-		st.JobsCompleted, st.DedupHits, st.Cache.Hits+st.Cache.DiskHits,
-		st.Cache.Hits+st.Cache.DiskHits+st.Cache.Misses, 100*st.Cache.HitRate)
+	shutdown()
 	return nil
+}
+
+func run(addr, addrFile string, cfg service.Config) error {
+	srv, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	return serve(addr, addrFile, "daemon", srv, func() {
+		srv.Close()
+		st := srv.Stats()
+		if st.Fleet != nil {
+			log.Printf("rxld: fleet peer_hits=%d peer_misses=%d peer_served=%d",
+				st.Fleet.PeerHits, st.Fleet.PeerMisses, st.Fleet.PeerServed)
+		}
+		log.Printf("rxld: served %d jobs (%d dedup), cache %d/%d hit rate %.1f%%",
+			st.JobsCompleted, st.DedupHits, st.Cache.Hits+st.Cache.DiskHits,
+			st.Cache.Hits+st.Cache.DiskHits+st.Cache.Misses, 100*st.Cache.HitRate)
+	})
+}
+
+func runFront(addr, addrFile string, cfg fleet.FrontConfig) error {
+	f, err := fleet.NewFront(cfg)
+	if err != nil {
+		return err
+	}
+	return serve(addr, addrFile, "front", f, func() {
+		st := f.Stats()
+		log.Printf("rxld front: forwarded %d (failovers %d, hot promotions %d) over %d peers",
+			st.Forwards, st.Failovers, st.HotPromotions, len(st.Peers))
+	})
 }

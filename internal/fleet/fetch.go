@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/service"
+)
+
+// FetchConfig parameterizes a daemon's peer fetcher.
+type FetchConfig struct {
+	// Self is this daemon's own base URL as it appears in Peers; the
+	// fetcher never asks itself.
+	Self string
+	// Peers is the full fleet membership (base URLs), self included.
+	Peers []string
+	// VNodes is the ring's virtual-node count per peer (0 =
+	// DefaultVNodes). Every fleet member must agree on it.
+	VNodes int
+	// Candidates is how many distinct non-self owners to try before
+	// giving up (0 = 2: the owner plus one fallback for when the owner
+	// is down).
+	Candidates int
+	// Wait is the in-flight join budget per probe: how long a probe may
+	// block on a peer that is computing the key right now (0 = 10s).
+	// Probes of peers that neither hold nor are computing the key
+	// return immediately regardless.
+	Wait time.Duration
+}
+
+// Fetcher resolves cache misses from fleet peers: on a miss for a key
+// this daemon does not own, ask the ring owner (then a fallback owner)
+// for the bytes before computing locally. It is the value wired into
+// service.Config.PeerFetch by cmd/rxld.
+type Fetcher struct {
+	ring    *Ring
+	self    string
+	cands   int
+	wait    time.Duration
+	clients map[string]*service.Client
+}
+
+// NewFetcher validates the configuration and builds the ring.
+func NewFetcher(cfg FetchConfig) (*Fetcher, error) {
+	ring, err := NewRing(cfg.Peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Candidates <= 0 {
+		cfg.Candidates = 2
+	}
+	if cfg.Wait <= 0 {
+		cfg.Wait = 10 * time.Second
+	}
+	f := &Fetcher{
+		ring:    ring,
+		self:    cfg.Self,
+		cands:   cfg.Candidates,
+		wait:    cfg.Wait,
+		clients: make(map[string]*service.Client, len(ring.peers)),
+	}
+	for _, p := range ring.Peers() {
+		if p != cfg.Self {
+			f.clients[p] = service.NewClient(p)
+		}
+	}
+	return f, nil
+}
+
+// Fetch implements service.Config.PeerFetch. The decision table:
+//
+//   - Self owns the key: return immediately — the owner is the
+//     authoritative computer of its keys; peers fill *from* it, so
+//     probing them would mostly pay a round trip to hear "no".
+//   - Otherwise: probe the owner, joining its in-flight computation if
+//     one is running, then (owner down or empty) the next distinct
+//     owner on the ring. Any bytes found are the answer — every daemon
+//     computes identical bytes for a spec, so a fallback owner's copy
+//     is the owner's copy.
+//
+// Errors are deliberately swallowed into ok=false: a dead peer must
+// degrade to a local compute, never fail the job.
+func (f *Fetcher) Fetch(ctx context.Context, key string) ([]byte, bool) {
+	owners := f.ring.Owners(key, f.cands+1)
+	if len(owners) > 0 && owners[0] == f.self {
+		return nil, false
+	}
+	tried := 0
+	for _, o := range owners {
+		if o == f.self || tried >= f.cands {
+			continue
+		}
+		tried++
+		b, ok, err := f.clients[o].FetchCached(ctx, key, f.wait)
+		if err == nil && ok {
+			return b, true
+		}
+		if ctx.Err() != nil {
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// Ring exposes the fetcher's ring (for statsz wiring and tests).
+func (f *Fetcher) Ring() *Ring { return f.ring }
+
+// Candidates returns the fetch candidate budget (statsz "replicas").
+func (f *Fetcher) Candidates() int { return f.cands }

@@ -1,0 +1,462 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// FrontConfig parameterizes a Front.
+type FrontConfig struct {
+	// Peers are the daemons' base URLs (e.g. "http://127.0.0.1:8081").
+	Peers []string
+	// VNodes is the virtual-node count per peer (0 = DefaultVNodes).
+	// Must match the daemons' fetcher rings.
+	VNodes int
+	// HotThreshold is the decayed request count at which a key is
+	// promoted to its replica set (0 = 32; < 0 disables promotion).
+	HotThreshold int
+	// HotReplicas is how many distinct owners a promoted key's requests
+	// spread over (0 = 2; clamped to the fleet size).
+	HotReplicas int
+	// HotEpoch is the decay half-life of the hot tracker (0 = 10s).
+	HotEpoch time.Duration
+	// RetryDead is how long a peer that failed a forward is skipped
+	// before being retried (0 = 3s).
+	RetryDead time.Duration
+}
+
+// Front is the fleet router: a stateless http.Handler speaking the same
+// /v1 surface as a daemon. Each submission is normalized, keyed, and
+// forwarded to the key's ring owner — or, for hot keys, spread over the
+// key's replica set — and job handles are forwarded to the daemon that
+// issued them via an ID prefix ("p2~j000017-4c1ea3b0" lives on peer 2).
+//
+// The front holds no results and runs no engines; it can be restarted
+// freely, and N fronts over the same peer list route identically
+// (placement is a pure function of key and peer set).
+type Front struct {
+	cfg   FrontConfig
+	ring  *Ring
+	peers []*frontPeer // indexed by position in ring.Peers() order
+	hot   *hotTracker
+	mux   *http.ServeMux
+	hc    *http.Client // raw forwards (GET/DELETE/events)
+	start time.Time
+
+	mu         sync.Mutex
+	forwards   uint64
+	failovers  uint64
+	promotions uint64
+}
+
+// frontPeer is one routed-to daemon plus its passive health state.
+type frontPeer struct {
+	index  int
+	url    string
+	client *service.Client
+
+	mu        sync.Mutex
+	downUntil time.Time
+	routed    uint64
+	errors    uint64
+}
+
+// NewFront validates the configuration and builds the router.
+func NewFront(cfg FrontConfig) (*Front, error) {
+	ring, err := NewRing(cfg.Peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.HotThreshold == 0 {
+		cfg.HotThreshold = 32
+	}
+	if cfg.HotReplicas <= 0 {
+		cfg.HotReplicas = 2
+	}
+	if n := len(ring.Peers()); cfg.HotReplicas > n {
+		cfg.HotReplicas = n
+	}
+	if cfg.RetryDead <= 0 {
+		cfg.RetryDead = 3 * time.Second
+	}
+	f := &Front{
+		cfg:   cfg,
+		ring:  ring,
+		hot:   newHotTracker(cfg.HotEpoch, 0),
+		hc:    &http.Client{},
+		start: time.Now(),
+	}
+	for i, u := range ring.Peers() {
+		f.peers = append(f.peers, &frontPeer{index: i, url: u, client: service.NewClient(u)})
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", f.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", f.handleForward)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", f.handleForward)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", f.handleEvents)
+	mux.HandleFunc("GET /v1/healthz", f.handleHealthz)
+	mux.HandleFunc("GET /v1/statsz", f.handleStatsz)
+	f.mux = mux
+	return f, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (f *Front) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mux.ServeHTTP(w, r)
+}
+
+// Ring exposes the routing ring.
+func (f *Front) Ring() *Ring { return f.ring }
+
+// peerByURL returns the frontPeer for a ring peer name.
+func (f *Front) peerByURL(url string) *frontPeer {
+	for _, p := range f.peers {
+		if p.url == url {
+			return p
+		}
+	}
+	return nil
+}
+
+// up reports whether the peer is not currently marked down.
+func (p *frontPeer) up(now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return now.After(p.downUntil)
+}
+
+// markDown records a transport failure.
+func (p *frontPeer) markDown(until time.Time) {
+	p.mu.Lock()
+	p.errors++
+	p.downUntil = until
+	p.mu.Unlock()
+}
+
+// markRouted records a successful forward (and clears down state).
+func (p *frontPeer) markRouted() {
+	p.mu.Lock()
+	p.routed++
+	p.downUntil = time.Time{}
+	p.mu.Unlock()
+}
+
+// writeJSON mirrors the daemon's compact encoder: result documents are
+// raw messages and must pass through byte-identically.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// handleSubmit routes a submission to its owner (or replica set).
+func (f *Front) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec service.JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode spec: " + err.Error()})
+		return
+	}
+	norm, err := spec.Normalize()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	key := norm.Key()
+
+	// Candidate order: the full ring ownership sequence, rotated for hot
+	// keys so a promoted key's requests spread over its first
+	// HotReplicas owners. Everything after the preferred target stays in
+	// ring order — it is the failover sequence.
+	now := time.Now()
+	candidates := f.ring.Owners(key, len(f.peers))
+	n := f.hot.bump(key, now)
+	promoted := f.cfg.HotThreshold > 0 && n >= uint64(f.cfg.HotThreshold) && f.cfg.HotReplicas > 1
+	if promoted {
+		k := f.cfg.HotReplicas
+		pick := int(n) % k
+		candidates[0], candidates[pick] = candidates[pick], candidates[0]
+		f.mu.Lock()
+		f.promotions++
+		f.mu.Unlock()
+	}
+
+	v, peer, err := f.forwardSubmit(r.Context(), candidates, norm, now)
+	if err != nil {
+		if code, ok := service.StatusCode(err); ok {
+			if code == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeJSON(w, code, apiError{Error: strings.TrimPrefix(err.Error(), "service: ")})
+			return
+		}
+		writeJSON(w, http.StatusBadGateway, apiError{Error: "fleet: no reachable owner: " + err.Error()})
+		return
+	}
+	v.ID = fmt.Sprintf("p%d~%s", peer.index, v.ID)
+	status := http.StatusAccepted
+	if v.Status.Terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, v)
+}
+
+// forwardSubmit tries candidates in order, skipping peers marked down
+// (unless every candidate is down — then it tries them all anyway: a
+// wrong "down" mark must not black-hole traffic). Transport errors fail
+// over to the next owner; daemon HTTP errors (400, 429, ...) are the
+// daemon's answer and propagate immediately. Failover is safe precisely
+// because results are location-independent: any owner computes the same
+// bytes, so retrying elsewhere can change latency, never content.
+func (f *Front) forwardSubmit(ctx context.Context, candidates []string, norm service.JobSpec, now time.Time) (service.JobView, *frontPeer, error) {
+	var lastErr error
+	for pass := 0; pass < 2; pass++ {
+		for i, url := range candidates {
+			p := f.peerByURL(url)
+			if pass == 0 && !p.up(now) {
+				continue
+			}
+			v, err := p.client.Submit(ctx, norm)
+			if err == nil {
+				p.markRouted()
+				f.mu.Lock()
+				f.forwards++
+				if i > 0 {
+					f.failovers++
+				}
+				f.mu.Unlock()
+				return v, p, nil
+			}
+			if _, isHTTP := service.StatusCode(err); isHTTP {
+				// The daemon answered; its answer stands.
+				p.markRouted()
+				return service.JobView{}, nil, err
+			}
+			p.markDown(now.Add(f.cfg.RetryDead))
+			lastErr = err
+			if ctx.Err() != nil {
+				return service.JobView{}, nil, lastErr
+			}
+		}
+		// Second pass only if the first skipped everything as down.
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no candidates")
+	}
+	return service.JobView{}, nil, lastErr
+}
+
+// resolveJobID splits a front job ID ("p2~j000017-...") into its peer
+// and the daemon-local ID.
+func (f *Front) resolveJobID(id string) (*frontPeer, string, bool) {
+	prefix, rest, ok := strings.Cut(id, "~")
+	if !ok || len(prefix) < 2 || prefix[0] != 'p' {
+		return nil, "", false
+	}
+	idx, err := strconv.Atoi(prefix[1:])
+	if err != nil || idx < 0 || idx >= len(f.peers) {
+		return nil, "", false
+	}
+	return f.peers[idx], rest, true
+}
+
+// handleForward proxies GET/DELETE /v1/jobs/{id} to the issuing daemon,
+// rewriting the job ID in the response and passing the query string
+// (?wait=) and conditional headers through untouched.
+func (f *Front) handleForward(w http.ResponseWriter, r *http.Request) {
+	p, localID, ok := f.resolveJobID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job (fleet IDs look like p0~j000001-...)"})
+		return
+	}
+	path := p.url + "/v1/jobs/" + localID
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, path, nil)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		p.markDown(time.Now().Add(f.cfg.RetryDead))
+		writeJSON(w, http.StatusBadGateway, apiError{Error: "fleet: peer unreachable: " + err.Error()})
+		return
+	}
+	defer resp.Body.Close()
+	p.markRouted()
+
+	if et := resp.Header.Get("ETag"); et != "" {
+		w.Header().Set("ETag", et)
+	}
+	if resp.StatusCode == http.StatusNotModified {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if resp.StatusCode >= 300 {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		return
+	}
+	var v service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		writeJSON(w, http.StatusBadGateway, apiError{Error: "fleet: bad peer response: " + err.Error()})
+		return
+	}
+	v.ID = fmt.Sprintf("p%d~%s", p.index, v.ID)
+	writeJSON(w, resp.StatusCode, v)
+}
+
+// handleEvents streams a job's SSE feed through from the issuing
+// daemon. Event payloads carry no job IDs, so the bytes pass through
+// verbatim, flushed as they arrive.
+func (f *Front) handleEvents(w http.ResponseWriter, r *http.Request) {
+	p, localID, ok := f.resolveJobID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: "streaming unsupported"})
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, p.url+"/v1/jobs/"+localID+"/events", nil)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		p.markDown(time.Now().Add(f.cfg.RetryDead))
+		writeJSON(w, http.StatusBadGateway, apiError{Error: "fleet: peer unreachable: " + err.Error()})
+		return
+	}
+	defer resp.Body.Close()
+	p.markRouted()
+	if resp.StatusCode != http.StatusOK {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			flusher.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// FrontPeerHealth is one peer's entry in the front's /v1/healthz.
+type FrontPeerHealth struct {
+	URL string `json:"url"`
+	// Up is passive state: true unless a recent forward failed at the
+	// transport level. The front probes nothing in the background.
+	Up bool `json:"up"`
+}
+
+func (f *Front) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	peers := make([]FrontPeerHealth, len(f.peers))
+	anyUp := false
+	for i, p := range f.peers {
+		up := p.up(now)
+		peers[i] = FrontPeerHealth{URL: p.url, Up: up}
+		anyUp = anyUp || up
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        anyUp,
+		"role":      "front",
+		"uptime_ms": time.Since(f.start).Milliseconds(),
+		"peers":     peers,
+	})
+}
+
+// FrontPeerStats is one peer's routing counters.
+type FrontPeerStats struct {
+	URL    string `json:"url"`
+	Up     bool   `json:"up"`
+	Routed uint64 `json:"routed"`
+	Errors uint64 `json:"errors"`
+}
+
+// FrontStats is the front's /v1/statsz document.
+type FrontStats struct {
+	Role          string           `json:"role"`
+	UptimeMS      int64            `json:"uptime_ms"`
+	RingSize      int              `json:"ring_size"`
+	VNodes        int              `json:"vnodes"`
+	HotThreshold  int              `json:"hot_threshold"`
+	HotReplicas   int              `json:"hot_replicas"`
+	HotTracked    int              `json:"hot_tracked"`
+	HotPromotions uint64           `json:"hot_promotions"`
+	Forwards      uint64           `json:"forwards"`
+	Failovers     uint64           `json:"failovers"`
+	Peers         []FrontPeerStats `json:"peers"`
+}
+
+// Stats snapshots the front.
+func (f *Front) Stats() FrontStats {
+	now := time.Now()
+	st := FrontStats{
+		Role:         "front",
+		UptimeMS:     time.Since(f.start).Milliseconds(),
+		RingSize:     f.ring.Size(),
+		VNodes:       f.ring.VNodes(),
+		HotThreshold: f.cfg.HotThreshold,
+		HotReplicas:  f.cfg.HotReplicas,
+		HotTracked:   f.hot.size(),
+	}
+	f.mu.Lock()
+	st.HotPromotions = f.promotions
+	st.Forwards = f.forwards
+	st.Failovers = f.failovers
+	f.mu.Unlock()
+	for _, p := range f.peers {
+		p.mu.Lock()
+		st.Peers = append(st.Peers, FrontPeerStats{
+			URL:    p.url,
+			Up:     now.After(p.downUntil),
+			Routed: p.routed,
+			Errors: p.errors,
+		})
+		p.mu.Unlock()
+	}
+	return st
+}
+
+func (f *Front) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, f.Stats())
+}

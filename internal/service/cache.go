@@ -22,7 +22,7 @@ type Cache struct {
 	entries map[string]*list.Element
 	lru     *list.List // front = most recently used
 
-	hits, misses, diskHits, spills uint64
+	hits, misses, diskHits, spills, probes uint64
 }
 
 // cacheEntry is one LRU slot.
@@ -39,7 +39,11 @@ type CacheStats struct {
 	Misses   uint64  `json:"misses"`
 	DiskHits uint64  `json:"disk_hits"`
 	Spills   uint64  `json:"spills"`
-	HitRate  float64 `json:"hit_rate"`
+	// Probes counts Probe lookups (fleet peers asking for raw bytes via
+	// GET /v1/cache/{key}); probe misses are excluded from Misses and
+	// HitRate.
+	Probes  uint64  `json:"probes,omitempty"`
+	HitRate float64 `json:"hit_rate"`
 }
 
 // NewCache returns a cache holding up to capacity entries in memory
@@ -87,6 +91,34 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	c.misses++
 	c.mu.Unlock()
+	return nil, false
+}
+
+// Probe is Get for fleet peer traffic (GET /v1/cache/{key}). It reads
+// both tiers like Get but keeps the hit/miss counters untouched: those
+// measure *client* traffic, the series operators alert on, and peers
+// probing for keys this daemon never computed would otherwise skew the
+// hit rate both ways. Probes are counted on their own; the server's
+// fleet stats break out how many were served.
+func (c *Cache) Probe(key string) ([]byte, bool) {
+	c.mu.Lock()
+	c.probes++
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		res := el.Value.(*cacheEntry).result
+		c.mu.Unlock()
+		return res, true
+	}
+	c.mu.Unlock()
+
+	if c.spillDir != "" {
+		if b, err := os.ReadFile(c.spillPath(key)); err == nil {
+			c.mu.Lock()
+			c.insertLocked(key, b)
+			c.mu.Unlock()
+			return b, true
+		}
+	}
 	return nil, false
 }
 
@@ -158,6 +190,7 @@ func (c *Cache) Stats() CacheStats {
 		Misses:   c.misses,
 		DiskHits: c.diskHits,
 		Spills:   c.spills,
+		Probes:   c.probes,
 	}
 	if total := s.Hits + s.DiskHits + s.Misses; total > 0 {
 		s.HitRate = float64(s.Hits+s.DiskHits) / float64(total)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -51,6 +52,18 @@ func (e *apiStatusError) Error() string {
 func IsQueueFull(err error) bool {
 	se, ok := err.(*apiStatusError)
 	return ok && se.Code == http.StatusTooManyRequests
+}
+
+// StatusCode extracts the HTTP status of a daemon error response. ok is
+// false for transport-level failures (connection refused, timeouts) —
+// the distinction the fleet front uses to tell "the daemon said no"
+// (propagate) from "the daemon is gone" (fail over to the next owner).
+func StatusCode(err error) (code int, ok bool) {
+	se, isAPI := err.(*apiStatusError)
+	if !isAPI {
+		return 0, false
+	}
+	return se.Code, true
 }
 
 // do issues a request and decodes the JSON response into out.
@@ -136,6 +149,44 @@ func (c *Client) GetConditional(ctx context.Context, id, etag string) (v JobView
 	}
 	err = json.NewDecoder(resp.Body).Decode(&v)
 	return v, resp.Header.Get("ETag"), false, err
+}
+
+// FetchCached asks the daemon for the raw cached result bytes of a
+// content address (GET /v1/cache/{key}) — the fleet peer-fetch
+// protocol. It never triggers computation. wait > 0 additionally joins
+// an in-flight computation of the key on that daemon, blocking until it
+// finishes or the budget elapses. ok=false with a nil error is a clean
+// miss; a non-nil error means the daemon could not be asked at all.
+func (c *Client) FetchCached(ctx context.Context, key string, wait time.Duration) (res []byte, ok bool, err error) {
+	path := "/v1/cache/" + key
+	if wait > 0 {
+		path += "?wait=" + strconv.FormatInt(wait.Milliseconds(), 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, false, nil
+	case resp.StatusCode >= 300:
+		var ae apiError
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		return nil, false, &apiStatusError{Code: resp.StatusCode, Message: msg}
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
 }
 
 // Wait long-polls until the job reaches a terminal status or ctx ends.

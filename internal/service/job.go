@@ -46,10 +46,11 @@ type Job struct {
 	// shutdown drain) releases the job's in-flight claim.
 	onTerminal func(*Job)
 
-	mu        sync.Mutex
-	status    Status
-	cached    bool
-	workers   int // granted allocation while running
+	mu          sync.Mutex
+	status      Status
+	cached      bool
+	peerFetched bool
+	workers     int // granted allocation while running
 	err       string
 	result    json.RawMessage
 	submitted time.Time
@@ -69,7 +70,11 @@ type JobView struct {
 	Cached bool `json:"cached"`
 	// Dedup is true (in submit responses) when this submission coalesced
 	// onto an identical in-flight job instead of queueing a duplicate.
-	Dedup      bool            `json:"dedup,omitempty"`
+	Dedup bool `json:"dedup,omitempty"`
+	// PeerFetched is true when the result bytes came from a fleet peer's
+	// cache (or in-flight computation) instead of a local engine run —
+	// byte-identical either way, by the engines' determinism.
+	PeerFetched bool            `json:"peer_fetched,omitempty"`
 	Priority   int             `json:"priority,omitempty"`
 	Workers    int             `json:"workers,omitempty"`
 	ShardsDone int64           `json:"shards_done,omitempty"`
@@ -95,6 +100,7 @@ func (j *Job) View() JobView {
 		Key:         j.Key,
 		Status:      j.status,
 		Cached:      j.cached,
+		PeerFetched: j.peerFetched,
 		Priority:    j.Spec.Priority,
 		Workers:     j.workers,
 		ShardsDone:  j.shardsDone.Load(),
@@ -162,6 +168,14 @@ func (j *Job) finish(status Status, result json.RawMessage, errMsg string) {
 	if j.onTerminal != nil {
 		j.onTerminal(j)
 	}
+}
+
+// setPeerFetched marks the result as fetched from a fleet peer. Called
+// before finish, so every view of the terminal job carries the flag.
+func (j *Job) setPeerFetched() {
+	j.mu.Lock()
+	j.peerFetched = true
+	j.mu.Unlock()
 }
 
 // Cancel requests cancellation. Queued jobs transition immediately;

@@ -37,6 +37,35 @@ type Config struct {
 	// are forgotten past it (0 = 4096). Queued/running jobs are never
 	// evicted.
 	JobHistory int
+	// PeerFetch, when non-nil, makes the daemon a fleet member: it is
+	// consulted on every cache miss after the job is dispatched but
+	// before any engine runs, and may return result bytes computed by
+	// another daemon (internal/fleet wires it to the consistent-hash
+	// owner's GET /v1/cache/{key}). A fetched result is cached and
+	// served exactly as if computed locally — the bytes are identical by
+	// the engines' determinism, so where they came from is unobservable
+	// in the document. Because misses are registered in-flight before
+	// the fetch, concurrent identical submissions coalesce onto the one
+	// fetching job: single-flight holds across the fetch.
+	PeerFetch func(ctx context.Context, key string) ([]byte, bool)
+	// FleetInfo, when non-nil, describes this daemon's fleet membership
+	// for /v1/statsz (ring size, peer count). Purely informational.
+	FleetInfo *FleetInfo
+}
+
+// FleetInfo is the static fleet membership a daemon reports in its
+// stats. The serving layer never interprets it — routing lives in
+// internal/fleet — it only surfaces what the operator configured.
+type FleetInfo struct {
+	// Self is this daemon's advertised base URL.
+	Self string `json:"self"`
+	// Peers is the fleet size, self included.
+	Peers int `json:"peers"`
+	// RingSize is the virtual-node count on the consistent-hash ring.
+	RingSize int `json:"ring_size"`
+	// Replicas is how many distinct owners a fetch will try before
+	// computing locally (the fetcher's candidate budget).
+	Replicas int `json:"replicas"`
 }
 
 // withDefaults resolves the zero fields.
@@ -70,15 +99,18 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	mu        sync.Mutex
-	jobs      map[string]*Job
-	order     []*Job          // submission order, for history trimming
-	inflight  map[string]*Job // cache key → live job (dedup coalescing)
-	seq       uint64
-	submitted uint64
-	completed uint64
-	dedups    uint64
-	closed    bool
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	order      []*Job          // submission order, for history trimming
+	inflight   map[string]*Job // cache key → live job (dedup coalescing)
+	seq        uint64
+	submitted  uint64
+	completed  uint64
+	dedups     uint64
+	peerHits   uint64 // misses answered by PeerFetch
+	peerMisses uint64 // PeerFetch attempts that fell through to compute
+	peerServed uint64 // /v1/cache/{key} requests answered with bytes
+	closed     bool
 }
 
 // New builds a Server from the configuration.
@@ -102,6 +134,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheFetch)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
 	s.mux = mux
@@ -323,7 +356,11 @@ func (s *Server) finalize(j *Job) {
 
 // runJob is the scheduler's execution callback: size a runner pool to the
 // granted allocation, bridge its progress into the job's event stream,
-// run the engine, populate the cache on success.
+// run the engine, populate the cache on success. Fleet members first ask
+// the key's owner for the bytes (PeerFetch): a daemon that is not the
+// owner of a key fills from the daemon that is — or joins its in-flight
+// computation — instead of re-running engines. Either way the result
+// bytes are the ones the spec determines; only the source differs.
 func (s *Server) runJob(j *Job, workers int) {
 	if !j.setRunning(workers) {
 		// Cancelled while queued; finish already ran the terminal hook.
@@ -334,6 +371,31 @@ func (s *Server) runJob(j *Job, workers int) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.Spec.TimeoutMS)*time.Millisecond)
 		defer cancel()
+	}
+	if s.cfg.PeerFetch != nil {
+		if res, ok := s.cfg.PeerFetch(ctx, j.Key); ok {
+			s.mu.Lock()
+			s.peerHits++
+			s.mu.Unlock()
+			s.cache.Put(j.Key, res)
+			j.setPeerFetched()
+			j.finish(StatusDone, res, "")
+			return
+		}
+		s.mu.Lock()
+		s.peerMisses++
+		s.mu.Unlock()
+		if ctx.Err() != nil {
+			// The fetch consumed the job's deadline or the client
+			// cancelled mid-fetch; don't start an engine run that would
+			// only be torn down.
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				j.finish(StatusFailed, nil, "deadline exceeded")
+			} else {
+				j.finish(StatusCanceled, nil, ctx.Err().Error())
+			}
+			return
+		}
 	}
 	pool := runner.Pool{Workers: workers, BaseSeed: j.Spec.Seed, Progress: j.progress}
 	res, err := execute(ctx, j.Spec, pool)
@@ -366,6 +428,25 @@ type Stats struct {
 	DedupHits        uint64         `json:"dedup_hits"`
 	JobsByStatus     map[Status]int `json:"jobs_by_status"`
 	Cache            CacheStats     `json:"cache"`
+	// Fleet is present only on fleet members (Config.FleetInfo set).
+	Fleet *FleetStats `json:"fleet,omitempty"`
+}
+
+// FleetStats is the fleet section of /v1/statsz: the configured
+// membership plus this daemon's peer-traffic counters.
+type FleetStats struct {
+	FleetInfo
+	// PeerHits counts local misses answered by fetching the bytes from
+	// a peer (the owner, or a fallback owner) instead of computing.
+	PeerHits uint64 `json:"peer_hits"`
+	// PeerMisses counts fetch attempts that found no peer copy and fell
+	// through to a local engine run.
+	PeerMisses uint64 `json:"peer_misses"`
+	// PeerServed counts GET /v1/cache/{key} requests this daemon
+	// answered with bytes — its service to the rest of the fleet.
+	PeerServed uint64 `json:"peer_served"`
+	// PeerProbes counts all GET /v1/cache/{key} lookups received.
+	PeerProbes uint64 `json:"peer_probes"`
 }
 
 // Stats snapshots the server.
@@ -389,6 +470,15 @@ func (s *Server) Stats() Stats {
 	st.JobsSubmitted = s.submitted
 	st.JobsCompleted = s.completed
 	st.DedupHits = s.dedups
+	if s.cfg.FleetInfo != nil {
+		st.Fleet = &FleetStats{
+			FleetInfo:  *s.cfg.FleetInfo,
+			PeerHits:   s.peerHits,
+			PeerMisses: s.peerMisses,
+			PeerServed: s.peerServed,
+			PeerProbes: st.Cache.Probes,
+		}
+	}
 	for _, j := range s.jobs {
 		st.JobsByStatus[j.Status()]++
 	}
@@ -579,6 +669,54 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleCacheFetch is the fleet peer-fetch protocol: serve the raw
+// result bytes for a cache key, or 404 — never compute. With ?wait=ms,
+// a key that is currently being computed here is joined: the request
+// blocks until the in-flight job finishes (or the budget elapses) and
+// then serves the freshly cached bytes. That join is what makes a hot
+// key compute once fleet-wide — a replica asking the owner during the
+// owner's first computation gets the owner's bytes, not a second run.
+func (s *Server) handleCacheFetch(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if len(key) != 64 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "cache key must be a hex sha-256"})
+		return
+	}
+	serve := func(b []byte) {
+		s.mu.Lock()
+		s.peerServed++
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("ETag", `"`+key+`"`)
+		w.Write(b)
+	}
+	if b, ok := s.cache.Probe(key); ok {
+		serve(b)
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		ms, err := strconv.Atoi(waitStr)
+		if err != nil || ms < 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad wait parameter"})
+			return
+		}
+		if ms > 60_000 {
+			ms = 60_000
+		}
+		s.mu.Lock()
+		j := s.inflight[key]
+		s.mu.Unlock()
+		if j != nil {
+			waitTerminal(r.Context(), j, time.Duration(ms)*time.Millisecond)
+			if b, ok := s.cache.Probe(key); ok {
+				serve(b)
+				return
+			}
+		}
+	}
+	writeJSON(w, http.StatusNotFound, apiError{Error: "not cached"})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

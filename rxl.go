@@ -40,6 +40,7 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/hwcost"
 	"repro/internal/link"
 	"repro/internal/perf"
@@ -248,6 +249,46 @@ func NewClient(base string) *Client { return service.NewClient(base) }
 // InProcessClient returns a client wired straight into an in-process
 // Service — no socket, same handlers, SSE streaming included.
 func InProcessClient(s *Service) *Client { return service.NewInProcessClient(s) }
+
+// FleetRing is the consistent-hash ring placing cache keys on fleet
+// daemons (internal/fleet): an immutable vnode ring where placement is a
+// pure function of (key, peer set) and adding a peer moves ~1/(N+1) of
+// the key space. Routing never changes result bytes — every daemon
+// computes the same bytes for a key, so the ring only decides who.
+type FleetRing = fleet.Ring
+
+// NewFleetRing builds a ring over the given peer base URLs; vnodes 0
+// means the default (128 per peer). The peer list is deduplicated and
+// sorted, so any ordering yields the same placement.
+func NewFleetRing(peers []string, vnodes int) (*FleetRing, error) {
+	return fleet.NewRing(peers, vnodes)
+}
+
+// FleetFetchConfig parameterizes a fleet member's peer fetch: its own
+// URL, the full peer list, and how long a fetch may join the owner's
+// in-flight computation. Wire the fetcher's Fetch into
+// ServiceConfig.PeerFetch (cmd/rxld does this under -fleet-self).
+type FleetFetchConfig = fleet.FetchConfig
+
+// NewFleetFetcher returns the miss-path peer fetcher for one daemon of a
+// fleet.
+func NewFleetFetcher(cfg FleetFetchConfig) (*fleet.Fetcher, error) {
+	return fleet.NewFetcher(cfg)
+}
+
+// FrontConfig parameterizes a fleet front: the peer list plus hot-key
+// promotion policy (threshold, replica count, decay epoch).
+type FrontConfig = fleet.FrontConfig
+
+// Front is the stateless fleet router: it normalizes and keys each
+// submission, forwards it to the key's ring owner (spreading hot keys
+// over a replica set, failing over past dead peers), and rewrites job
+// handles so GET/DELETE/events find the daemon that issued them. It is
+// an http.Handler; cmd/rxld serves one under -fleet.
+type Front = fleet.Front
+
+// NewFront builds a fleet front over the given daemons.
+func NewFront(cfg FrontConfig) (*Front, error) { return fleet.NewFront(cfg) }
 
 // Performance is the bandwidth-loss model of Section 7.2 (Eq. 11–14).
 type Performance = perf.Params

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Fleet scaling curve: boot a fresh N-daemon fleet for each N, drive it
+# with rxlbench (zipf-skewed hot set, client-side ring routing), and
+# print the 1→N throughput table the README's Fleet section quotes.
+#
+#   scripts/fleet_bench.sh                 # N = 1 2 3
+#   SIZES="1 2 3 4" DUR=15s scripts/fleet_bench.sh
+#
+# Tunables (env): SIZES, DUR (window per N), CONC (clients), HOT
+# (distinct hot configs), REPEAT (hot fraction), GRID_N (payloads/job).
+#
+# Each fleet starts cold — the same priming + measurement runs against
+# every size, so the numbers are comparable. Read the curve for what the
+# host can show: on a single core the daemons time-share one CPU, so a
+# flat-or-better curve demonstrates that fleet coordination (ring
+# routing, peer fetch) costs nothing, while compute-bound scaling needs
+# real cores. On a multi-core host the same script shows the capacity
+# curve directly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SIZES=${SIZES:-"1 2 3"}
+DUR=${DUR:-8s}
+CONC=${CONC:-16}
+HOT=${HOT:-64}
+REPEAT=${REPEAT:-0.95}
+GRID_N=${GRID_N:-2000}
+BASEPORT=${BASEPORT:-18080}
+
+go build -o rxld ./cmd/rxld
+go build -o rxlbench.bin ./cmd/rxlbench
+
+declare -a ROWS
+PIDS=()
+cleanup() { kill "${PIDS[@]}" 2>/dev/null || true; }
+trap cleanup EXIT
+
+for N in $SIZES; do
+  echo "=== fleet size $N ===" >&2
+  URLS=""
+  for i in $(seq 1 "$N"); do
+    URLS="$URLS${URLS:+,}http://127.0.0.1:$((BASEPORT + i))"
+  done
+  PIDS=()
+  for i in $(seq 1 "$N"); do
+    ./rxld -addr "127.0.0.1:$((BASEPORT + i))" \
+      -fleet-self "http://127.0.0.1:$((BASEPORT + i))" -fleet-peers "$URLS" &
+    PIDS+=($!)
+  done
+  for i in $(seq 1 "$N"); do
+    for _ in $(seq 50); do
+      curl -fsS "http://127.0.0.1:$((BASEPORT + i))/v1/healthz" >/dev/null 2>&1 && break
+      sleep 0.2
+    done
+  done
+
+  OUT=$(./rxlbench.bin -fleet "$URLS" -dist zipf -duration "$DUR" \
+    -concurrency "$CONC" -hot "$HOT" -repeat "$REPEAT" -n "$GRID_N" -json)
+  echo "$OUT" >&2
+  RESULT=$(echo "$OUT" | sed -n 's/^RESULT //p')
+  ROWS+=("$N $RESULT")
+
+  cleanup
+  PIDS=()
+  sleep 0.3
+done
+trap - EXIT
+
+echo
+echo "| daemons | req/s | hit rate | p50 | p95 | peer hits |"
+echo "|--------:|------:|---------:|----:|----:|----------:|"
+for row in "${ROWS[@]}"; do
+  N=${row%% *}
+  J=${row#* }
+  echo "$J" | jq -r --arg n "$N" \
+    '"| \($n) | \(.rps | round) | \(.hit_rate * 100 | round)% | \(.p50_us / 1000 * 10 | round / 10) ms | \(.p95_us / 1000 * 10 | round / 10) ms | \(.peer_hits) |"'
+done

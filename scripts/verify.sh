@@ -6,6 +6,8 @@
 #   scripts/verify.sh --level=race          # race-detector subset + fuzz corpus
 #   scripts/verify.sh --level=differential  # scenario-grid fast/slow scan
 #   scripts/verify.sh --level=smoke         # rxld HTTP serving-contract drill
+#   scripts/verify.sh --level=fleet         # 3-daemon fleet + front byte-identity e2e
+#   scripts/verify.sh --level=compose       # same drill via docker compose (skips w/o docker)
 #   scripts/verify.sh --level=bench         # gated benchmark suite + benchgate
 #   scripts/verify.sh --level=all           # the whole ladder, bottom to top
 #
@@ -19,7 +21,7 @@ for arg in "$@"; do
   case "$arg" in
     --level=*) level="${arg#--level=}" ;;
     *)
-      echo "usage: $0 [--level=unit|race|differential|smoke|bench|all]" >&2
+      echo "usage: $0 [--level=unit|race|differential|smoke|fleet|compose|bench|all]" >&2
       exit 2
       ;;
   esac
@@ -42,7 +44,7 @@ rung_unit() {
 
 rung_race() {
   run go test -race ./internal/runner/ ./internal/core/ ./internal/reliability/... \
-    ./internal/service/ ./internal/workload/ ./internal/trace/ ./cmd/rxlsim/ .
+    ./internal/service/ ./internal/fleet/ ./internal/workload/ ./internal/trace/ ./cmd/rxlsim/ .
   # Fuzz seed corpus (replay parsing only, no long fuzzing).
   run go test -run 'Fuzz.*' ./internal/trace/
 }
@@ -94,6 +96,118 @@ rung_smoke() {
   trap - EXIT
 }
 
+# fleet_drill BASE FRONT D1 D2 D3 — the shared fleet serving-contract
+# checks, parameterized on URLs so the process rung and the compose rung
+# assert exactly the same things. BASE is a scratch directory for the
+# result files.
+fleet_drill() {
+  local base=$1 front=$2 d1=$3 d2=$4 d3=$5
+
+  SPEC='{"kind":"grid","seed":41,"grid":{"Base":{"Protocol":2,"Levels":1,"BER":1e-6},"N":2000}}'
+
+  curl -fsS "$front/v1/healthz" | jq -e '.ok == true and .role == "front"'
+
+  # Submit through the front, wait, repeat: the repeat must be answered
+  # from the owner's cache, through the front, byte-identically.
+  FIRST=$(curl -fsS -X POST "$front/v1/jobs" -d "$SPEC")
+  ID=$(echo "$FIRST" | jq -r .id)
+  echo "front issued job $ID"
+  case "$ID" in p[0-9]*~*) ;; *) echo "front job id lacks peer prefix: $ID" >&2; return 1 ;; esac
+  DONE=$(curl -fsS "$front/v1/jobs/$ID?wait=60000")
+  test "$(echo "$DONE" | jq -r .status)" = done
+  SECOND=$(curl -fsS -X POST "$front/v1/jobs" -d "$SPEC")
+  test "$(echo "$SECOND" | jq -r .cached)" = true
+  echo "$DONE"   | jq -cS .result >"$base/front1.json"
+  echo "$SECOND" | jq -cS .result >"$base/front2.json"
+  cmp "$base/front1.json" "$base/front2.json"
+
+  # Submit the same spec directly to every daemon: the non-owners must
+  # peer-fetch the owner's bytes instead of recomputing, and all three
+  # answers must be byte-identical.
+  i=0
+  for d in "$d1" "$d2" "$d3"; do
+    i=$((i + 1))
+    V=$(curl -fsS -X POST "$d/v1/jobs" -d "$SPEC")
+    VID=$(echo "$V" | jq -r .id)
+    curl -fsS "$d/v1/jobs/$VID?wait=60000" | jq -cS .result >"$base/direct$i.json"
+    cmp "$base/front1.json" "$base/direct$i.json"
+  done
+  PEER_HITS=0
+  for d in "$d1" "$d2" "$d3"; do
+    ST=$(curl -fsS "$d/v1/statsz")
+    echo "$ST" | jq -e '.fleet.ring_size > 0'
+    PEER_HITS=$((PEER_HITS + $(echo "$ST" | jq '.fleet.peer_hits // 0')))
+  done
+  echo "fleet-wide peer_hits=$PEER_HITS"
+  test "$PEER_HITS" -ge 2 # the two non-owners fetched instead of computing
+
+  curl -fsS "$front/v1/statsz" | jq -e '.forwards >= 2 and .ring_size > 0'
+}
+
+rung_fleet() {
+  # Boot a real 3-daemon fleet plus a front as separate processes, drive
+  # the fleet serving contract, and diff every byte against a standalone
+  # (fleet-less) daemon — routing must never change a result.
+  run go build -o rxld ./cmd/rxld
+  BASE=$(mktemp -d)
+  P1=17081 P2=17082 P3=17083 PF=17080 PS=17089
+  PEERS="http://127.0.0.1:$P1,http://127.0.0.1:$P2,http://127.0.0.1:$P3"
+  PIDS=()
+  for p in $P1 $P2 $P3; do
+    ./rxld -addr "127.0.0.1:$p" -fleet-self "http://127.0.0.1:$p" -fleet-peers "$PEERS" &
+    PIDS+=($!)
+  done
+  ./rxld -addr "127.0.0.1:$PF" -fleet "$PEERS" &
+  PIDS+=($!)
+  ./rxld -addr "127.0.0.1:$PS" &
+  PIDS+=($!)
+  trap 'kill "${PIDS[@]}" 2>/dev/null || true' EXIT
+  for p in $P1 $P2 $P3 $PF $PS; do
+    for _ in $(seq 50); do
+      curl -fsS "http://127.0.0.1:$p/v1/healthz" >/dev/null 2>&1 && break
+      sleep 0.2
+    done
+  done
+
+  fleet_drill "$BASE" "http://127.0.0.1:$PF" \
+    "http://127.0.0.1:$P1" "http://127.0.0.1:$P2" "http://127.0.0.1:$P3"
+
+  # Differential leg: the same spec on a standalone daemon must produce
+  # the exact bytes the fleet served.
+  SPEC='{"kind":"grid","seed":41,"grid":{"Base":{"Protocol":2,"Levels":1,"BER":1e-6},"N":2000}}'
+  V=$(curl -fsS -X POST "http://127.0.0.1:$PS/v1/jobs" -d "$SPEC")
+  VID=$(echo "$V" | jq -r .id)
+  curl -fsS "http://127.0.0.1:$PS/v1/jobs/$VID?wait=60000" | jq -cS .result >"$BASE/standalone.json"
+  cmp "$BASE/front1.json" "$BASE/standalone.json"
+  echo "fleet bytes == standalone bytes"
+
+  kill "${PIDS[@]}" 2>/dev/null || true
+  trap - EXIT
+  rm -rf "$BASE"
+}
+
+rung_compose() {
+  # The same drill against the docker-compose fleet fixture. Skips (exit
+  # 0) when no usable docker daemon or compose plugin is present, so the
+  # rung is safe in 'all' on docker-less dev boxes; CI runs it for real.
+  if ! command -v docker >/dev/null || ! docker info >/dev/null 2>&1; then
+    echo "verify: compose rung skipped (no docker daemon)" >&2
+    return 0
+  fi
+  if ! docker compose version >/dev/null 2>&1; then
+    echo "verify: compose rung skipped (no docker compose plugin)" >&2
+    return 0
+  fi
+  BASE=$(mktemp -d)
+  run docker compose up --build -d --wait
+  trap 'docker compose down -v --remove-orphans >/dev/null 2>&1 || true' EXIT
+  fleet_drill "$BASE" "http://127.0.0.1:17080" \
+    "http://127.0.0.1:17081" "http://127.0.0.1:17082" "http://127.0.0.1:17083"
+  run docker compose down -v --remove-orphans
+  trap - EXIT
+  rm -rf "$BASE"
+}
+
 rung_bench() {
   # Separate invocations so each benchmark gets enough wall time per rep:
   # FlitTransfer/MeshTransfer/MeshExpress ops are ~0.3-20µs (20000x), the
@@ -140,16 +254,20 @@ unit) rung_unit ;;
 race) rung_race ;;
 differential) rung_differential ;;
 smoke) rung_smoke ;;
+fleet) rung_fleet ;;
+compose) rung_compose ;;
 bench) rung_bench ;;
 all)
   rung_unit
   rung_race
   rung_differential
   rung_smoke
+  rung_fleet
+  rung_compose
   rung_bench
   ;;
 *)
-  echo "unknown level '$level' (want unit|race|differential|smoke|bench|all)" >&2
+  echo "unknown level '$level' (want unit|race|differential|smoke|fleet|compose|bench|all)" >&2
   exit 2
   ;;
 esac
