@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet verify unit race differential smoke fleet compose bench \
+.PHONY: build test vet verify unit race differential smoke metrics fleet compose bench \
         fleet-up fleet-down fleet-bench docker clean
 
 build: ## Build all binaries into ./bin
@@ -19,7 +19,7 @@ vet: ## go vet
 verify: ## The whole verification ladder, bottom to top
 	scripts/verify.sh --level=all
 
-unit race differential smoke fleet compose bench: ## Individual verify rungs
+unit race differential smoke metrics fleet compose bench: ## Individual verify rungs
 	scripts/verify.sh --level=$@
 
 fleet-up: ## Start the docker-compose fleet (3 daemons + front on :17080)

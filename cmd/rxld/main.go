@@ -32,6 +32,24 @@
 //     daemon that issued them. No engines, no cache, restartable at
 //     will.
 //
+// Observability (see OPERATIONS.md for the full family reference):
+//
+//   - GET /metrics on every daemon and front serves Prometheus text —
+//     request latency histograms split by cache outcome, queue depth,
+//     shard-budget utilization, cache bytes/entries, peer traffic, and
+//     (front) per-peer health from the active prober. cmd/rxltop renders
+//     a live fleet map from these.
+//
+//   - Every request gets (or propagates) an X-Rxl-Request-Id, and GET
+//     /v1/jobs/{id}/trace returns the job's span log. Asked of a front,
+//     the trace is assembled fleet-wide: front forwarding spans, the
+//     owner's lifecycle spans, and any peer's cache-serve spans merge
+//     under the one propagated ID.
+//
+//   - The front actively probes every member's /v1/healthz in the
+//     background (-fleet-probe-interval) and routes around peers whose
+//     probes fail; passive forward-failure marks remain as the fast path.
+//
 // API quickstart:
 //
 //	curl -s localhost:8080/v1/healthz
@@ -79,13 +97,15 @@ func main() {
 		spillDir   = flag.String("spill", "", "directory for cache disk spill (empty = memory only)")
 		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
 
-		front     = flag.String("fleet", "", "run as fleet front: comma-separated daemon base URLs to route over (no local engines)")
-		fleetSelf = flag.String("fleet-self", "", "this daemon's base URL within the fleet (member mode; requires -fleet-peers)")
-		peersCSV  = flag.String("fleet-peers", "", "comma-separated base URLs of every fleet daemon, self included (member mode)")
-		vnodes    = flag.Int("fleet-vnodes", 0, "virtual nodes per peer on the consistent-hash ring (0 = 128; must match fleet-wide)")
-		hotThresh = flag.Int("fleet-hot-threshold", 0, "front: decayed repeat count that promotes a key to its replica set (0 = 32, negative disables)")
-		hotRepl   = flag.Int("fleet-hot-replicas", 0, "front: distinct owners a hot key spreads over (0 = 2)")
-		fetchWait = flag.Duration("fleet-fetch-wait", 0, "member: how long a peer fetch may join the owner's in-flight computation (0 = 10s)")
+		front      = flag.String("fleet", "", "run as fleet front: comma-separated daemon base URLs to route over (no local engines)")
+		fleetSelf  = flag.String("fleet-self", "", "this daemon's base URL within the fleet (member mode; requires -fleet-peers)")
+		peersCSV   = flag.String("fleet-peers", "", "comma-separated base URLs of every fleet daemon, self included (member mode)")
+		vnodes     = flag.Int("fleet-vnodes", 0, "virtual nodes per peer on the consistent-hash ring (0 = 128; must match fleet-wide)")
+		hotThresh  = flag.Int("fleet-hot-threshold", 0, "front: decayed repeat count that promotes a key to its replica set (0 = 32, negative disables)")
+		hotRepl    = flag.Int("fleet-hot-replicas", 0, "front: distinct owners a hot key spreads over (0 = 2)")
+		fetchWait  = flag.Duration("fleet-fetch-wait", 0, "member: how long a peer fetch may join the owner's in-flight computation (0 = 10s)")
+		probeEvery = flag.Duration("fleet-probe-interval", 0, "front: background /v1/healthz probe period per peer (0 = 2s, negative disables)")
+		probeTO    = flag.Duration("fleet-probe-timeout", 0, "front: per-probe timeout (0 = 1s)")
 	)
 	flag.Parse()
 
@@ -101,10 +121,12 @@ func main() {
 	var err error
 	if *front != "" {
 		err = runFront(*addr, *addrFile, fleet.FrontConfig{
-			Peers:        splitCSV(*front),
-			VNodes:       *vnodes,
-			HotThreshold: *hotThresh,
-			HotReplicas:  *hotRepl,
+			Peers:         splitCSV(*front),
+			VNodes:        *vnodes,
+			HotThreshold:  *hotThresh,
+			HotReplicas:   *hotRepl,
+			ProbeInterval: *probeEvery,
+			ProbeTimeout:  *probeTO,
 		})
 	} else {
 		cfg := service.Config{
@@ -218,6 +240,7 @@ func runFront(addr, addrFile string, cfg fleet.FrontConfig) error {
 		return err
 	}
 	return serve(addr, addrFile, "front", f, func() {
+		f.Close()
 		st := f.Stats()
 		log.Printf("rxld front: forwarded %d (failovers %d, hot promotions %d) over %d peers",
 			st.Forwards, st.Failovers, st.HotPromotions, len(st.Peers))

@@ -2,8 +2,10 @@ package fleet
 
 import (
 	"context"
+	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -91,7 +93,14 @@ func (f *Fetcher) Fetch(ctx context.Context, key string) ([]byte, bool) {
 			continue
 		}
 		tried++
+		start := time.Now()
 		b, ok, err := f.clients[o].FetchCached(ctx, key, f.wait)
+		// The job's context carries the submitting request's trace (and
+		// FetchCached forwards its ID), so each probe — and the serve it
+		// triggers on the peer — lands in the request's fleet-wide trace.
+		obs.Record(ctx, "peer_probe", start, map[string]string{
+			"peer": o, "hit": strconv.FormatBool(err == nil && ok),
+		})
 		if err == nil && ok {
 			return b, true
 		}

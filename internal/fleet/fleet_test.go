@@ -87,6 +87,7 @@ func startFleet(t *testing.T, n int, frontCfg FrontConfig) *testFleet {
 	tf.front = front
 	tf.frontTS = httptest.NewServer(front)
 	t.Cleanup(func() {
+		tf.front.Close()
 		tf.frontTS.Close()
 		for i, ts := range tf.daemons {
 			ts.Close()

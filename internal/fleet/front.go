@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -32,6 +33,13 @@ type FrontConfig struct {
 	// RetryDead is how long a peer that failed a forward is skipped
 	// before being retried (0 = 3s).
 	RetryDead time.Duration
+	// ProbeInterval is the active health-probe period: the front probes
+	// every peer's /v1/healthz in the background and routes around peers
+	// whose probes fail, independent of forward traffic (0 = 2s; < 0
+	// disables probing, leaving only the passive down-marks).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (0 = 1s).
+	ProbeTimeout time.Duration
 }
 
 // Front is the fleet router: a stateless http.Handler speaking the same
@@ -52,13 +60,23 @@ type Front struct {
 	hc    *http.Client // raw forwards (GET/DELETE/events)
 	start time.Time
 
+	metrics    *obs.Registry
+	subSeconds map[string]*obs.Histogram // outcome label → submit latency
+	tracer     *obs.Tracer
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	probeWG   sync.WaitGroup
+
 	mu         sync.Mutex
 	forwards   uint64
 	failovers  uint64
 	promotions uint64
 }
 
-// frontPeer is one routed-to daemon plus its passive health state.
+// frontPeer is one routed-to daemon plus its health state: the passive
+// down-mark forwards leave behind, and the active probe verdict the
+// background health loop maintains.
 type frontPeer struct {
 	index  int
 	url    string
@@ -68,6 +86,13 @@ type frontPeer struct {
 	downUntil time.Time
 	routed    uint64
 	errors    uint64
+	// Active probe state. probeChecked stays false until the first probe
+	// completes, so a just-started front routes normally instead of
+	// treating the whole fleet as unverified.
+	probeChecked bool
+	probeOK      bool
+	probes       uint64
+	probeFails   uint64
 }
 
 // NewFront validates the configuration and builds the router.
@@ -88,31 +113,111 @@ func NewFront(cfg FrontConfig) (*Front, error) {
 	if cfg.RetryDead <= 0 {
 		cfg.RetryDead = 3 * time.Second
 	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
 	f := &Front{
-		cfg:   cfg,
-		ring:  ring,
-		hot:   newHotTracker(cfg.HotEpoch, 0),
-		hc:    &http.Client{},
-		start: time.Now(),
+		cfg:    cfg,
+		ring:   ring,
+		hot:    newHotTracker(cfg.HotEpoch, 0),
+		hc:     &http.Client{},
+		start:  time.Now(),
+		tracer: obs.NewTracer("front", "front"),
+		stop:   make(chan struct{}),
 	}
 	for i, u := range ring.Peers() {
 		f.peers = append(f.peers, &frontPeer{index: i, url: u, client: service.NewClient(u)})
 	}
+	f.wireMetrics()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", f.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", f.handleForward)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", f.handleForward)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", f.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", f.handleJobTrace)
+	mux.HandleFunc("GET /v1/trace/{rid}", f.handleTrace)
 	mux.HandleFunc("GET /v1/healthz", f.handleHealthz)
 	mux.HandleFunc("GET /v1/statsz", f.handleStatsz)
+	mux.Handle("GET /metrics", f.metrics.Handler())
 	f.mux = mux
+
+	if cfg.ProbeInterval > 0 {
+		f.probeWG.Add(1)
+		go f.probeLoop()
+	}
 	return f, nil
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Like the daemon, the front stamps
+// every request with a propagated-or-fresh request ID, so the spans it
+// records (forwarding decisions, failovers) and the spans the owner and
+// peers record all land under the one ID the client saw.
 func (f *Front) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get(obs.HeaderRequestID)
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	w.Header().Set(obs.HeaderRequestID, rid)
+	r = r.WithContext(obs.WithTrace(r.Context(), f.tracer, rid))
 	f.mux.ServeHTTP(w, r)
+}
+
+// Close stops the background health prober. Safe to call more than once;
+// a front is otherwise stateless and needs no other teardown.
+func (f *Front) Close() {
+	f.closeOnce.Do(func() { close(f.stop) })
+	f.probeWG.Wait()
+}
+
+// probeLoop actively probes every peer's /v1/healthz on the configured
+// interval — once immediately at start, so a front never routes blind
+// longer than one probe round. Active probing is the primary health
+// signal: it finds dead peers with no forward traffic to trip the
+// passive marks, and it revives wrongly-marked peers the moment they
+// answer, instead of after RetryDead expires.
+func (f *Front) probeLoop() {
+	defer f.probeWG.Done()
+	t := time.NewTicker(f.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		f.probeAll()
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probeAll probes peers concurrently so one hung peer cannot starve the
+// round past its own timeout.
+func (f *Front) probeAll() {
+	var wg sync.WaitGroup
+	for _, p := range f.peers {
+		wg.Add(1)
+		go func(p *frontPeer) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), f.cfg.ProbeTimeout)
+			err := p.client.Health(ctx)
+			cancel()
+			p.mu.Lock()
+			p.probeChecked = true
+			p.probeOK = err == nil
+			p.probes++
+			if err != nil {
+				p.probeFails++
+			} else {
+				// A live answer overrides any passive down-mark.
+				p.downUntil = time.Time{}
+			}
+			p.mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
 }
 
 // Ring exposes the routing ring.
@@ -128,10 +233,21 @@ func (f *Front) peerByURL(url string) *frontPeer {
 	return nil
 }
 
-// up reports whether the peer is not currently marked down.
+// up reports whether the peer is routable: its last active probe (once
+// one has run) must have succeeded, and no passive down-mark may be
+// live. The probe verdict is primary — a peer failing probes is down
+// even with no forward traffic — and the passive mark is the fast path
+// that reacts to a failed forward before the next probe round.
 func (p *frontPeer) up(now time.Time) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.upLocked(now)
+}
+
+func (p *frontPeer) upLocked(now time.Time) bool {
+	if p.probeChecked && !p.probeOK {
+		return false
+	}
 	return now.After(p.downUntil)
 }
 
@@ -194,10 +310,14 @@ func (f *Front) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		f.mu.Lock()
 		f.promotions++
 		f.mu.Unlock()
+		obs.Record(r.Context(), "hot_promote", now, map[string]string{
+			"key": key[:8], "target": candidates[0],
+		})
 	}
 
 	v, peer, err := f.forwardSubmit(r.Context(), candidates, norm, now)
 	if err != nil {
+		f.subSeconds[outcomeError].Observe(time.Since(now).Seconds())
 		if code, ok := service.StatusCode(err); ok {
 			if code == http.StatusTooManyRequests {
 				w.Header().Set("Retry-After", "1")
@@ -208,12 +328,32 @@ func (f *Front) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadGateway, apiError{Error: "fleet: no reachable owner: " + err.Error()})
 		return
 	}
+	f.subSeconds[submitOutcome(v)].Observe(time.Since(now).Seconds())
 	v.ID = fmt.Sprintf("p%d~%s", peer.index, v.ID)
 	status := http.StatusAccepted
 	if v.Status.Terminal() {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, v)
+}
+
+// submitOutcome classifies a forwarded submit's response for the front's
+// latency histogram: where the owner got (or will get) the bytes.
+func submitOutcome(v service.JobView) string {
+	switch {
+	case v.Status == service.StatusFailed || v.Status == service.StatusCanceled:
+		return outcomeError
+	case v.Cached:
+		return outcomeHit
+	case v.PeerFetched:
+		return outcomePeerFetched
+	case v.Dedup:
+		return outcomeInflightJoin
+	default:
+		// Accepted and still running: the submit itself was a miss at
+		// forward time (terminal outcome lands on the owner's histogram).
+		return outcomeMiss
+	}
 }
 
 // forwardSubmit tries candidates in order, skipping peers marked down
@@ -231,8 +371,12 @@ func (f *Front) forwardSubmit(ctx context.Context, candidates []string, norm ser
 			if pass == 0 && !p.up(now) {
 				continue
 			}
+			attempt := time.Now()
 			v, err := p.client.Submit(ctx, norm)
 			if err == nil {
+				obs.Record(ctx, "forward", attempt, map[string]string{
+					"peer": url, "failover": strconv.FormatBool(i > 0),
+				})
 				p.markRouted()
 				f.mu.Lock()
 				f.forwards++
@@ -247,6 +391,7 @@ func (f *Front) forwardSubmit(ctx context.Context, candidates []string, norm ser
 				p.markRouted()
 				return service.JobView{}, nil, err
 			}
+			obs.Record(ctx, "forward_failed", attempt, map[string]string{"peer": url})
 			p.markDown(now.Add(f.cfg.RetryDead))
 			lastErr = err
 			if ctx.Err() != nil {
@@ -382,9 +527,14 @@ func (f *Front) handleEvents(w http.ResponseWriter, r *http.Request) {
 // FrontPeerHealth is one peer's entry in the front's /v1/healthz.
 type FrontPeerHealth struct {
 	URL string `json:"url"`
-	// Up is passive state: true unless a recent forward failed at the
-	// transport level. The front probes nothing in the background.
+	// Up combines the active probe verdict (primary) with the passive
+	// forward down-marks (fast path).
 	Up bool `json:"up"`
+	// Probed is false until the background prober has reached this peer
+	// at least once (or probing is disabled); ProbeOK is meaningless
+	// until then.
+	Probed  bool `json:"probed"`
+	ProbeOK bool `json:"probe_ok"`
 }
 
 func (f *Front) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -392,8 +542,10 @@ func (f *Front) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	peers := make([]FrontPeerHealth, len(f.peers))
 	anyUp := false
 	for i, p := range f.peers {
-		up := p.up(now)
-		peers[i] = FrontPeerHealth{URL: p.url, Up: up}
+		p.mu.Lock()
+		up := p.upLocked(now)
+		peers[i] = FrontPeerHealth{URL: p.url, Up: up, Probed: p.probeChecked, ProbeOK: p.probeOK}
+		p.mu.Unlock()
 		anyUp = anyUp || up
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -410,6 +562,10 @@ type FrontPeerStats struct {
 	Up     bool   `json:"up"`
 	Routed uint64 `json:"routed"`
 	Errors uint64 `json:"errors"`
+	// Probes/ProbeFails count the background health probes sent to this
+	// peer and how many failed.
+	Probes     uint64 `json:"probes"`
+	ProbeFails uint64 `json:"probe_fails"`
 }
 
 // FrontStats is the front's /v1/statsz document.
@@ -447,10 +603,12 @@ func (f *Front) Stats() FrontStats {
 	for _, p := range f.peers {
 		p.mu.Lock()
 		st.Peers = append(st.Peers, FrontPeerStats{
-			URL:    p.url,
-			Up:     now.After(p.downUntil),
-			Routed: p.routed,
-			Errors: p.errors,
+			URL:        p.url,
+			Up:         p.upLocked(now),
+			Routed:     p.routed,
+			Errors:     p.errors,
+			Probes:     p.probes,
+			ProbeFails: p.probeFails,
 		})
 		p.mu.Unlock()
 	}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerRecordAndSort pins span recording, retrieval, and the
+// by-start merge ordering.
+func TestTracerRecordAndSort(t *testing.T) {
+	tr := NewTracer("daemon", "http://d1:8080")
+	base := time.Now()
+	tr.Record("rid1", "run", base.Add(10*time.Millisecond), 5*time.Millisecond, nil)
+	tr.Record("rid1", "submit", base, time.Millisecond, map[string]string{"kind": "grid"})
+	tr.Record("rid2", "submit", base, 0, nil)
+
+	spans := tr.Spans("rid1")
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "submit" || spans[1].Name != "run" {
+		t.Fatalf("spans not sorted by start: %v, %v", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Service != "daemon" || spans[0].Origin != "http://d1:8080" {
+		t.Fatalf("span not stamped with service/origin: %+v", spans[0])
+	}
+	if spans[0].Attrs["kind"] != "grid" {
+		t.Fatal("attrs lost")
+	}
+	if tr.Spans("missing") != nil {
+		t.Fatal("unknown rid returned spans")
+	}
+	if tr.Size() != 2 {
+		t.Fatalf("size = %d, want 2", tr.Size())
+	}
+}
+
+// TestTracerBounds pins the LRU eviction and the per-trace span cap.
+func TestTracerBounds(t *testing.T) {
+	tr := NewTracer("daemon", "")
+	tr.maxIDs, tr.maxSpans = 4, 3
+	now := time.Now()
+	for i := 0; i < 8; i++ {
+		tr.Record(fmt.Sprintf("rid%d", i), "s", now, 0, nil)
+	}
+	if tr.Size() != 4 {
+		t.Fatalf("size = %d, want 4 after eviction", tr.Size())
+	}
+	if tr.Spans("rid0") != nil {
+		t.Fatal("oldest trace survived eviction")
+	}
+	for i := 0; i < 10; i++ {
+		tr.Record("rid7", "extra", now, 0, nil)
+	}
+	if n := len(tr.Spans("rid7")); n != 3 {
+		t.Fatalf("span cap: got %d spans, want 3", n)
+	}
+}
+
+// TestContextPropagation pins the WithTrace/Record/RequestID plumbing a
+// request context carries across layers, including the nil-safe no-ops.
+func TestContextPropagation(t *testing.T) {
+	tr := NewTracer("front", "front")
+	ctx := WithTrace(context.Background(), tr, "ridX")
+	if RequestID(ctx) != "ridX" {
+		t.Fatal("request id lost in context")
+	}
+	Record(ctx, "forward", time.Now(), map[string]string{"peer": "http://d1"})
+	if len(tr.Spans("ridX")) != 1 {
+		t.Fatal("context Record did not reach the tracer")
+	}
+	// Contexts without a trace are silently inert.
+	Record(context.Background(), "nowhere", time.Now(), nil)
+	if RequestID(context.Background()) != "" {
+		t.Fatal("bare context reported a request id")
+	}
+}
+
+// TestNewRequestID pins shape and (statistical) uniqueness.
+func TestNewRequestID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("id %q: len %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestTracerConcurrency is the -race pin for parallel Record/Spans.
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer("daemon", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rid := fmt.Sprintf("rid%d", w%3)
+			for i := 0; i < 500; i++ {
+				tr.Record(rid, "s", time.Now(), 0, nil)
+				_ = tr.Spans(rid)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -21,6 +21,7 @@ type Cache struct {
 
 	entries map[string]*list.Element
 	lru     *list.List // front = most recently used
+	bytes   int64      // result bytes resident in the memory tier
 
 	hits, misses, diskHits, spills, probes uint64
 }
@@ -33,12 +34,15 @@ type cacheEntry struct {
 
 // CacheStats is the counter snapshot exposed by /v1/statsz.
 type CacheStats struct {
-	Entries  int     `json:"entries"`
-	Capacity int     `json:"capacity"`
-	Hits     uint64  `json:"hits"`
-	Misses   uint64  `json:"misses"`
-	DiskHits uint64  `json:"disk_hits"`
-	Spills   uint64  `json:"spills"`
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+	// Bytes is the result payload resident in the memory tier — the
+	// entry-count LRU's actual footprint, for capacity planning.
+	Bytes    int64  `json:"bytes"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	DiskHits uint64 `json:"disk_hits"`
+	Spills   uint64 `json:"spills"`
 	// Probes counts Probe lookups (fleet peers asking for raw bytes via
 	// GET /v1/cache/{key}); probe misses are excluded from Misses and
 	// HitRate.
@@ -139,18 +143,25 @@ func (c *Cache) Put(key string, result []byte) {
 	}
 }
 
-// insertLocked adds or refreshes an entry and trims to capacity.
+// insertLocked adds or refreshes an entry, trims to capacity, and keeps
+// the resident-bytes count in step with every insert, replace, and
+// eviction.
 func (c *Cache) insertLocked(key string, result []byte) {
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).result = result
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(result)) - int64(len(e.result))
+		e.result = result
 		c.lru.MoveToFront(el)
 		return
 	}
 	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, result: result})
+	c.bytes += int64(len(result))
 	for c.lru.Len() > c.capacity {
 		tail := c.lru.Back()
 		c.lru.Remove(tail)
-		delete(c.entries, tail.Value.(*cacheEntry).key)
+		e := tail.Value.(*cacheEntry)
+		c.bytes -= int64(len(e.result))
+		delete(c.entries, e.key)
 	}
 }
 
@@ -186,6 +197,7 @@ func (c *Cache) Stats() CacheStats {
 	s := CacheStats{
 		Entries:  c.lru.Len(),
 		Capacity: c.capacity,
+		Bytes:    c.bytes,
 		Hits:     c.hits,
 		Misses:   c.misses,
 		DiskHits: c.diskHits,

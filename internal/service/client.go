@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Client is the typed API client. It speaks the same HTTP surface whether
@@ -80,6 +82,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if err != nil {
 		return err
 	}
+	propagateRequestID(ctx, req)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
@@ -100,6 +103,16 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// propagateRequestID forwards the context's trace request ID, so a hop
+// made on behalf of a traced request — a front forwarding a submit, a
+// member probing a peer's cache — records its spans on the far side
+// under the same ID.
+func propagateRequestID(ctx context.Context, req *http.Request) {
+	if rid := obs.RequestID(ctx); rid != "" {
+		req.Header.Set(obs.HeaderRequestID, rid)
+	}
 }
 
 // Submit posts a job spec. Cache hits come back already StatusDone with
@@ -128,6 +141,7 @@ func (c *Client) GetConditional(ctx context.Context, id, etag string) (v JobView
 	if err != nil {
 		return v, "", false, err
 	}
+	propagateRequestID(ctx, req)
 	if etag != "" {
 		req.Header.Set("If-None-Match", etag)
 	}
@@ -166,6 +180,7 @@ func (c *Client) FetchCached(ctx context.Context, key string, wait time.Duration
 	if err != nil {
 		return nil, false, err
 	}
+	propagateRequestID(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, false, err
@@ -237,6 +252,7 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) er
 	if err != nil {
 		return err
 	}
+	propagateRequestID(ctx, req)
 	req.Header.Set("Accept", "text/event-stream")
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -286,6 +302,24 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var st Stats
 	err := c.do(ctx, http.MethodGet, "/v1/statsz", nil, &st)
 	return st, err
+}
+
+// JobTrace fetches the spans a daemon recorded for a job's request ID
+// (GET /v1/jobs/{id}/trace). The returned view carries the request ID,
+// the handle for widening the trace across the fleet via TraceByRequestID.
+func (c *Client) JobTrace(ctx context.Context, id string) (TraceView, error) {
+	var tv TraceView
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, &tv)
+	return tv, err
+}
+
+// TraceByRequestID fetches the spans a daemon recorded under a request
+// ID (GET /v1/trace/{rid}). A daemon that never saw the request answers
+// 404 — a clean "no spans here", not a failure, for fleet assembly.
+func (c *Client) TraceByRequestID(ctx context.Context, rid string) (TraceView, error) {
+	var tv TraceView
+	err := c.do(ctx, http.MethodGet, "/v1/trace/"+rid, nil, &tv)
+	return tv, err
 }
 
 // Health probes /v1/healthz, failing fast if the daemon is unreachable.

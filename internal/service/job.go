@@ -34,6 +34,7 @@ type Job struct {
 	ID   string
 	Key  string
 	Spec JobSpec // normalized
+	rid  string  // request ID of the submission that created the job
 	seq  uint64  // admission order, FIFO tiebreak within a priority
 
 	ctx        context.Context
@@ -51,11 +52,11 @@ type Job struct {
 	cached      bool
 	peerFetched bool
 	workers     int // granted allocation while running
-	err       string
-	result    json.RawMessage
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	err         string
+	result      json.RawMessage
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
 }
 
 // JobView is the JSON rendering of a job for GET /v1/jobs/{id} and the
@@ -74,7 +75,10 @@ type JobView struct {
 	// PeerFetched is true when the result bytes came from a fleet peer's
 	// cache (or in-flight computation) instead of a local engine run —
 	// byte-identical either way, by the engines' determinism.
-	PeerFetched bool            `json:"peer_fetched,omitempty"`
+	PeerFetched bool `json:"peer_fetched,omitempty"`
+	// RequestID is the trace ID of the submission that created the job —
+	// the handle GET /v1/jobs/{id}/trace and /v1/trace/{rid} resolve.
+	RequestID  string          `json:"request_id,omitempty"`
 	Priority   int             `json:"priority,omitempty"`
 	Workers    int             `json:"workers,omitempty"`
 	ShardsDone int64           `json:"shards_done,omitempty"`
@@ -101,6 +105,7 @@ func (j *Job) View() JobView {
 		Status:      j.status,
 		Cached:      j.cached,
 		PeerFetched: j.peerFetched,
+		RequestID:   j.rid,
 		Priority:    j.Spec.Priority,
 		Workers:     j.workers,
 		ShardsDone:  j.shardsDone.Load(),

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Cache outcomes labelling the request-latency histogram. A request's
+// outcome is where its bytes came from: the local cache (hit), a fleet
+// peer (peer_fetched), an identical in-flight job it joined
+// (inflight_join), a local engine run (miss), or nowhere (error — failed
+// or cancelled jobs).
+const (
+	outcomeHit          = "hit"
+	outcomeMiss         = "miss"
+	outcomePeerFetched  = "peer_fetched"
+	outcomeInflightJoin = "inflight_join"
+	outcomeError        = "error"
+)
+
+// requestOutcomes is the fixed label set, pre-created so the hot path
+// never creates series.
+var requestOutcomes = []string{
+	outcomeHit, outcomeMiss, outcomePeerFetched, outcomeInflightJoin, outcomeError,
+}
+
+// wireMetrics builds the daemon's /metrics registry. Histograms are real
+// atomic-bucket metrics observed on the request path; everything already
+// counted under an existing lock (scheduler, cache, server counters) is
+// exposed as a Func metric sampled at scrape time, so the hot path pays
+// nothing for being observable. Family names and meanings are documented
+// in OPERATIONS.md ("The /metrics reference").
+func (s *Server) wireMetrics() {
+	reg := obs.NewRegistry()
+	s.metrics = reg
+
+	s.reqSeconds = make(map[string]*obs.Histogram, len(requestOutcomes))
+	for _, oc := range requestOutcomes {
+		s.reqSeconds[oc] = reg.Histogram("rxld_request_seconds",
+			"Submit-to-terminal job latency in seconds, by cache outcome.",
+			nil, "outcome", oc)
+	}
+
+	reg.GaugeFunc("rxld_uptime_seconds", "Seconds since process start.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	// Scheduler: queue + shard-budget utilization.
+	reg.GaugeFunc("rxld_queue_depth", "Jobs waiting for admission.",
+		func() float64 { q, _, _, _ := s.sched.snapshot(); return float64(q) })
+	reg.GaugeFunc("rxld_queue_capacity", "Admission queue bound (overflow answers 429).",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	reg.GaugeFunc("rxld_running_jobs", "Jobs currently executing.",
+		func() float64 { _, r, _, _ := s.sched.snapshot(); return float64(r) })
+	reg.GaugeFunc("rxld_shards_in_use", "Worker shards granted to running jobs.",
+		func() float64 { _, _, u, _ := s.sched.snapshot(); return float64(u) })
+	reg.GaugeFunc("rxld_shard_budget", "Total worker-shard budget.",
+		func() float64 { return float64(s.cfg.ShardBudget) })
+	reg.GaugeFunc("rxld_shard_utilization", "shards_in_use / shard_budget.",
+		func() float64 {
+			_, _, u, _ := s.sched.snapshot()
+			return float64(u) / float64(s.cfg.ShardBudget)
+		})
+
+	// Server job counters (guarded by s.mu).
+	locked := func(read func() uint64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(read())
+		}
+	}
+	reg.CounterFunc("rxld_jobs_submitted_total", "Jobs admitted (hits included).",
+		locked(func() uint64 { return s.submitted }))
+	reg.CounterFunc("rxld_jobs_completed_total", "Jobs reaching a terminal state.",
+		locked(func() uint64 { return s.completed }))
+	reg.CounterFunc("rxld_dedup_hits_total", "Submissions coalesced onto an in-flight twin.",
+		locked(func() uint64 { return s.dedups }))
+
+	// Cache tiers.
+	reg.GaugeFunc("rxld_cache_entries", "Memory-tier entries.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	reg.GaugeFunc("rxld_cache_capacity", "Memory-tier entry bound.",
+		func() float64 { return float64(s.cache.Stats().Capacity) })
+	reg.GaugeFunc("rxld_cache_bytes", "Result bytes resident in the memory tier.",
+		func() float64 { return float64(s.cache.Stats().Bytes) })
+	reg.CounterFunc("rxld_cache_hits_total", "Client-facing memory-tier hits.",
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	reg.CounterFunc("rxld_cache_misses_total", "Client-facing cache misses.",
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	reg.CounterFunc("rxld_cache_disk_hits_total", "Misses answered by the disk tier.",
+		func() float64 { return float64(s.cache.Stats().DiskHits) })
+	reg.CounterFunc("rxld_cache_spills_total", "Entries written through to disk.",
+		func() float64 { return float64(s.cache.Stats().Spills) })
+
+	// Fleet families exist only on members — a standalone daemon's scrape
+	// carries no dead peer series.
+	if s.cfg.PeerFetch != nil || s.cfg.FleetInfo != nil {
+		reg.CounterFunc("rxld_cache_probes_total", "Peer cache lookups received (GET /v1/cache/{key}).",
+			func() float64 { return float64(s.cache.Stats().Probes) })
+		reg.CounterFunc("rxld_peer_fetch_hits_total", "Local misses answered with a peer's bytes.",
+			locked(func() uint64 { return s.peerHits }))
+		reg.CounterFunc("rxld_peer_fetch_misses_total", "Fleet consultations that fell through to a local compute.",
+			locked(func() uint64 { return s.peerMisses }))
+		reg.CounterFunc("rxld_peer_served_total", "Peer cache lookups answered with bytes.",
+			locked(func() uint64 { return s.peerServed }))
+	}
+
+	reg.GaugeFunc("rxld_traces_live", "Request IDs with spans in the trace buffer.",
+		func() float64 { return float64(s.tracer.Size()) })
+}
+
+// observeJob classifies a finished job's cache outcome and feeds the
+// latency histogram and the job's trace. It runs from the terminal hook,
+// so every path to a terminal state — engine completion, peer fetch,
+// cache hit, cancellation — is observed exactly once.
+func (s *Server) observeJob(j *Job) {
+	j.mu.Lock()
+	status, cached, peer := j.status, j.cached, j.peerFetched
+	finished := j.finished
+	dur := finished.Sub(j.submitted)
+	j.mu.Unlock()
+
+	outcome := outcomeMiss
+	switch {
+	case status != StatusDone:
+		outcome = outcomeError
+	case cached:
+		outcome = outcomeHit
+	case peer:
+		outcome = outcomePeerFetched
+	}
+	s.reqSeconds[outcome].Observe(dur.Seconds())
+	s.tracer.Record(j.rid, "finish", finished, 0, map[string]string{
+		"status": string(status), "outcome": outcome, "job": j.ID,
+	})
+}

@@ -1,0 +1,230 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// jsonDecode decodes a response body, closing it.
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// scrapeMetrics fetches and parses a server's /metrics, failing the test
+// on transport, status, content-type, or parse problems — a scrape that
+// doesn't round-trip through the real exposition format proves nothing.
+func scrapeMetrics(t *testing.T, baseURL string) []obs.Sample {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics content-type %q, want text/plain", ct)
+	}
+	samples, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		t.Fatalf("parse /metrics: %v", err)
+	}
+	return samples
+}
+
+func hasFamily(samples []obs.Sample, name string) bool {
+	for _, s := range samples {
+		if s.Name == name || strings.HasPrefix(s.Name, name+"_") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMetricsEndpoint is the daemon metrics e2e: a fresh server exposes
+// every documented family as valid exposition text; a submit advances
+// the miss histogram and job counters; a cache-hit repeat advances the
+// hit histogram — the outcome split operators alert on.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newTestServer(t, Config{ShardBudget: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	c := NewClient(ts.URL)
+
+	s0 := scrapeMetrics(t, ts.URL)
+	for _, fam := range []string{
+		"rxld_uptime_seconds",
+		"rxld_queue_depth", "rxld_queue_capacity", "rxld_running_jobs",
+		"rxld_shards_in_use", "rxld_shard_budget", "rxld_shard_utilization",
+		"rxld_jobs_submitted_total", "rxld_jobs_completed_total", "rxld_dedup_hits_total",
+		"rxld_cache_entries", "rxld_cache_capacity", "rxld_cache_bytes",
+		"rxld_cache_hits_total", "rxld_cache_misses_total",
+		"rxld_cache_disk_hits_total", "rxld_cache_spills_total",
+		"rxld_request_seconds", "rxld_traces_live",
+	} {
+		if !hasFamily(s0, fam) {
+			t.Errorf("fresh daemon /metrics missing family %s", fam)
+		}
+	}
+	// A standalone daemon exposes no fleet families — dead series would
+	// read as a misconfigured fleet on every dashboard.
+	for _, fam := range []string{"rxld_peer_fetch_hits_total", "rxld_peer_served_total", "rxld_cache_probes_total"} {
+		if hasFamily(s0, fam) {
+			t.Errorf("standalone daemon exposes fleet family %s", fam)
+		}
+	}
+	if obs.SumSamples(s0, "rxld_shard_budget") != 2 {
+		t.Error("shard budget gauge does not reflect config")
+	}
+
+	// Miss, then hit.
+	spec := smallGridSpec(77)
+	if _, err := c.Run(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Cached {
+		t.Fatal("repeat submit was not a cache hit")
+	}
+
+	s1 := scrapeMetrics(t, ts.URL)
+	if got := obs.SumSamples(s1, "rxld_request_seconds_count", "outcome", "miss"); got != 1 {
+		t.Errorf("miss histogram count = %g, want 1", got)
+	}
+	if got := obs.SumSamples(s1, "rxld_request_seconds_count", "outcome", "hit"); got != 1 {
+		t.Errorf("hit histogram count = %g, want 1", got)
+	}
+	if got := obs.SumSamples(s1, "rxld_jobs_completed_total"); got != 2 {
+		t.Errorf("jobs_completed_total = %g, want 2", got)
+	}
+	if got := obs.SumSamples(s1, "rxld_cache_entries"); got != 1 {
+		t.Errorf("cache_entries = %g, want 1", got)
+	}
+	if got := obs.SumSamples(s1, "rxld_cache_bytes"); got <= 0 {
+		t.Errorf("cache_bytes = %g, want > 0 after a cached result", got)
+	}
+	// The latency quantile machinery works end to end on the scraped
+	// buckets (values are timing-dependent; only the shape is pinned).
+	bounds, cum := obs.RebuildHistogram(s1, "rxld_request_seconds")
+	if cum == nil || cum[len(cum)-1] != 2 {
+		t.Fatalf("rebuilt request histogram cum = %v, want total 2", cum)
+	}
+	_ = bounds
+}
+
+// TestRequestIDAndJobTrace pins the tracing surface on one daemon: a
+// client-sent X-Rxl-Request-Id is echoed and adopted, the job view
+// carries it, and /v1/jobs/{id}/trace returns the lifecycle spans
+// (submit → queue_wait → run → cache_write → finish) under that ID. A
+// cache-hit repeat under a second ID gets its own trace.
+func TestRequestIDAndJobTrace(t *testing.T) {
+	srv := newTestServer(t, Config{ShardBudget: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	c := NewClient(ts.URL)
+
+	const rid = "cafe0123beef4567"
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+		strings.NewReader(`{"kind":"grid","seed":9,"grid":{"Base":{"Protocol":2,"Levels":1,"BER":1e-5,"BurstProb":0.4,"Seed":7},"N":500}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.HeaderRequestID, rid)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get(obs.HeaderRequestID); got != rid {
+		t.Fatalf("response request id %q, want echo of %q", got, rid)
+	}
+	var v JobView
+	if err := jsonDecode(resp, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.RequestID != rid {
+		t.Fatalf("job view request_id %q, want %q", v.RequestID, rid)
+	}
+	if _, err := c.Wait(ctx, v.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	tv, err := c.JobTrace(ctx, v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv.RequestID != rid || tv.JobID != v.ID {
+		t.Fatalf("trace view ids = (%q, %q), want (%q, %q)", tv.RequestID, tv.JobID, rid, v.ID)
+	}
+	names := map[string]bool{}
+	for _, sp := range tv.Spans {
+		if sp.Service != "daemon" {
+			t.Errorf("span %s from service %q, want daemon", sp.Name, sp.Service)
+		}
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"submit", "queue_wait", "run", "cache_write", "finish"} {
+		if !names[want] {
+			t.Errorf("trace missing %s span (got %v)", want, names)
+		}
+	}
+	// Spans arrive sorted by start.
+	for i := 1; i < len(tv.Spans); i++ {
+		if tv.Spans[i].StartUS < tv.Spans[i-1].StartUS {
+			t.Fatal("trace spans not sorted by start time")
+		}
+	}
+
+	// The same spans are addressable by request ID directly.
+	byRID, err := c.TraceByRequestID(ctx, rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byRID.Spans) != len(tv.Spans) {
+		t.Fatalf("trace by rid has %d spans, job trace has %d", len(byRID.Spans), len(tv.Spans))
+	}
+	if _, err := c.TraceByRequestID(ctx, "0000000000000000"); err == nil {
+		t.Fatal("unknown request id did not 404")
+	}
+
+	// A cache-hit repeat under its own ID traces as a hit: no run span.
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+		strings.NewReader(`{"kind":"grid","seed":9,"grid":{"Base":{"Protocol":2,"Levels":1,"BER":1e-5,"BurstProb":0.4,"Seed":7},"N":500}}`))
+	req2.Header.Set(obs.HeaderRequestID, "feed0123dead4567")
+	req2.Header.Set("Content-Type", "application/json")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 JobView
+	if err := jsonDecode(resp2, &v2); err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Cached {
+		t.Fatal("repeat was not a hit")
+	}
+	hitTrace, err := c.JobTrace(ctx, v2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitNames := map[string]bool{}
+	for _, sp := range hitTrace.Spans {
+		hitNames[sp.Name] = true
+	}
+	if !hitNames["submit"] || !hitNames["finish"] || hitNames["run"] {
+		t.Fatalf("hit trace spans = %v, want submit+finish without run", hitNames)
+	}
+}

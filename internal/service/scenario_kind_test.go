@@ -130,14 +130,14 @@ func TestScenarioValidation(t *testing.T) {
 	topo := []core.Topology{{W: 2, H: 2}}
 	wl := []workload.Spec{{Kind: workload.KindUniform}}
 	bad := []JobSpec{
-		{Kind: KindScenario},                                             // no payload
-		{Kind: KindScenario, Scenario: &core.ScenarioGrid{N: 5}},         // no axes
-		{Kind: KindScenario, Scenario: &core.ScenarioGrid{Topologies: topo, Workloads: wl}},                                          // N missing
-		{Kind: KindScenario, Scenario: &core.ScenarioGrid{N: 5, Topologies: []core.Topology{{Kind: "ring", W: 2, H: 2}}, Workloads: wl}}, // bad topology
-		{Kind: KindScenario, Scenario: &core.ScenarioGrid{N: 5, Topologies: topo, Workloads: []workload.Spec{{Kind: "tornado"}}}},        // bad workload
-		{Kind: KindScenario, Scenario: &core.ScenarioGrid{N: 5, Topologies: topo, Workloads: wl, BERs: []float64{2}}},                    // bad BER in cells
+		{Kind: KindScenario}, // no payload
+		{Kind: KindScenario, Scenario: &core.ScenarioGrid{N: 5}},                                                                                                        // no axes
+		{Kind: KindScenario, Scenario: &core.ScenarioGrid{Topologies: topo, Workloads: wl}},                                                                             // N missing
+		{Kind: KindScenario, Scenario: &core.ScenarioGrid{N: 5, Topologies: []core.Topology{{Kind: "ring", W: 2, H: 2}}, Workloads: wl}},                                // bad topology
+		{Kind: KindScenario, Scenario: &core.ScenarioGrid{N: 5, Topologies: topo, Workloads: []workload.Spec{{Kind: "tornado"}}}},                                       // bad workload
+		{Kind: KindScenario, Scenario: &core.ScenarioGrid{N: 5, Topologies: topo, Workloads: wl, BERs: []float64{2}}},                                                   // bad BER in cells
 		{Kind: KindScenario, Scenario: &core.ScenarioGrid{N: 5, Topologies: []core.Topology{{W: 4, H: 1}}, Workloads: []workload.Spec{{Kind: workload.KindTranspose}}}}, // all incompatible
-		{Kind: KindGrid, Scenario: &core.ScenarioGrid{N: 5, Topologies: topo, Workloads: wl}},                                            // kind/payload mismatch
+		{Kind: KindGrid, Scenario: &core.ScenarioGrid{N: 5, Topologies: topo, Workloads: wl}},                                                                           // kind/payload mismatch
 	}
 	for i, spec := range bad {
 		if _, err := spec.Normalize(); err == nil {

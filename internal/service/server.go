@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -99,6 +100,10 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
+	metrics    *obs.Registry
+	reqSeconds map[string]*obs.Histogram // outcome label → latency histogram
+	tracer     *obs.Tracer
+
 	mu         sync.Mutex
 	jobs       map[string]*Job
 	order      []*Job          // submission order, for history trimming
@@ -127,6 +132,12 @@ func New(cfg Config) (*Server, error) {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 	}
+	origin := "rxld"
+	if cfg.FleetInfo != nil && cfg.FleetInfo.Self != "" {
+		origin = cfg.FleetInfo.Self
+	}
+	s.tracer = obs.NewTracer("daemon", origin)
+	s.wireMetrics()
 	s.sched = newScheduler(cfg.ShardBudget, cfg.QueueDepth, cfg.DefaultJobWorkers, s.runJob)
 
 	mux := http.NewServeMux()
@@ -134,9 +145,12 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/trace/{rid}", s.handleTrace)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheFetch)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	mux.Handle("GET /metrics", s.metrics.Handler())
 	s.mux = mux
 	return s, nil
 }
@@ -150,8 +164,18 @@ func MustNew(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request is stamped with a
+// request ID — the caller's X-Rxl-Request-Id if it sent one (the fleet
+// front and peer fetches do), a fresh one otherwise — echoed on the
+// response and carried in the request context so handlers record trace
+// spans under it.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get(obs.HeaderRequestID)
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	w.Header().Set(obs.HeaderRequestID, rid)
+	r = r.WithContext(obs.WithTrace(r.Context(), s.tracer, rid))
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -187,14 +211,26 @@ func (s *Server) Cache() *Cache { return s.cache }
 // an existing in-flight job (dedup=true) when an identical spec is still
 // executing.
 func (s *Server) Submit(spec JobSpec) (j *Job, dedup bool, err error) {
+	return s.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit carrying the caller's request context, which (when
+// it came through ServeHTTP) holds the request ID the job's trace spans
+// record under. The context traces the submission; it does not bound the
+// job's lifetime — jobs outlive their submitting requests by design.
+func (s *Server) SubmitCtx(ctx context.Context, spec JobSpec) (j *Job, dedup bool, err error) {
 	norm, err := spec.Normalize()
 	if err != nil {
 		return nil, false, err
 	}
 	key := norm.Key()
+	rid := obs.RequestID(ctx)
+	s.tracer.Record(rid, "submit", time.Now(), 0, map[string]string{
+		"kind": norm.Kind, "key": key[:8],
+	})
 
 	if res, ok := s.cache.Get(key); ok {
-		return s.serveHit(norm, key, res)
+		return s.serveHit(rid, norm, key, res)
 	}
 
 	// The in-flight lookup and the key reservation happen under one lock
@@ -215,6 +251,12 @@ func (s *Server) Submit(spec JobSpec) (j *Job, dedup bool, err error) {
 		// scheduling demands.)
 		s.dedups++
 		s.mu.Unlock()
+		// The join is this request's outcome, observed now: it has no job
+		// of its own to reach a terminal hook.
+		s.reqSeconds[outcomeInflightJoin].Observe(0)
+		s.tracer.Record(rid, "inflight_join", time.Now(), 0, map[string]string{
+			"job": ex.ID, "key": key[:8],
+		})
 		return ex, true, nil
 	}
 	// Re-check the cache under the lock: an in-flight sibling that just
@@ -225,13 +267,13 @@ func (s *Server) Submit(spec JobSpec) (j *Job, dedup bool, err error) {
 	// would recompute bytes the cache already holds.
 	if res, ok := s.cache.Get(key); ok {
 		s.mu.Unlock()
-		return s.serveHit(norm, key, res)
+		return s.serveHit(rid, norm, key, res)
 	}
 	inflight := true
 	if ex, ok := s.inflight[key]; ok && ex != nil {
 		inflight = false // key already claimed by a scheduling-divergent twin
 	}
-	j = s.registerLocked(norm, key, inflight)
+	j = s.registerLocked(rid, norm, key, inflight)
 	s.mu.Unlock()
 
 	if err := s.sched.submit(j); err != nil {
@@ -243,13 +285,13 @@ func (s *Server) Submit(spec JobSpec) (j *Job, dedup bool, err error) {
 
 // serveHit registers a terminal job view for a cache hit. Hits respect
 // admission shutdown like misses do: a closed server serves nothing.
-func (s *Server) serveHit(norm JobSpec, key string, res []byte) (*Job, bool, error) {
+func (s *Server) serveHit(rid string, norm JobSpec, key string, res []byte) (*Job, bool, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, false, ErrClosed
 	}
-	j := s.registerLocked(norm, key, false)
+	j := s.registerLocked(rid, norm, key, false)
 	j.cached = true
 	s.mu.Unlock()
 	j.finish(StatusDone, res, "")
@@ -283,15 +325,18 @@ func (s *Server) Job(id string) (*Job, bool) {
 // registerLocked allocates a job — cancellation context, queued event,
 // terminal hook — and adds it to the registry (and the in-flight index
 // when it will execute), trimming terminal history past the configured
-// bound. Caller holds s.mu.
-func (s *Server) registerLocked(spec JobSpec, key string, inflight bool) *Job {
-	ctx, cancel := context.WithCancel(context.Background())
+// bound. The job's context carries the submitting request's trace, so
+// spans recorded deep in execution (the peer fetcher's probes) land
+// under the same request ID. Caller holds s.mu.
+func (s *Server) registerLocked(rid string, spec JobSpec, key string, inflight bool) *Job {
+	ctx, cancel := context.WithCancel(obs.WithTrace(context.Background(), s.tracer, rid))
 	s.seq++
 	seq := s.seq
 	j := &Job{
 		ID:         fmt.Sprintf("j%06d-%s", seq, key[:8]),
 		Key:        key,
 		Spec:       spec,
+		rid:        rid,
 		seq:        seq,
 		ctx:        ctx,
 		cancel:     cancel,
@@ -352,6 +397,7 @@ func (s *Server) finalize(j *Job) {
 	}
 	s.completed++
 	s.mu.Unlock()
+	s.observeJob(j)
 }
 
 // runJob is the scheduler's execution callback: size a runner pool to the
@@ -366,6 +412,13 @@ func (s *Server) runJob(j *Job, workers int) {
 		// Cancelled while queued; finish already ran the terminal hook.
 		return
 	}
+	j.mu.Lock()
+	submitted, started := j.submitted, j.started
+	j.mu.Unlock()
+	s.tracer.Record(j.rid, "queue_wait", submitted, started.Sub(submitted), nil)
+	s.tracer.Record(j.rid, "admission_grant", started, 0, map[string]string{
+		"workers": strconv.Itoa(workers), "job": j.ID,
+	})
 	ctx := j.ctx
 	if j.Spec.TimeoutMS > 0 {
 		var cancel context.CancelFunc
@@ -373,11 +426,16 @@ func (s *Server) runJob(j *Job, workers int) {
 		defer cancel()
 	}
 	if s.cfg.PeerFetch != nil {
+		fetchStart := time.Now()
 		if res, ok := s.cfg.PeerFetch(ctx, j.Key); ok {
 			s.mu.Lock()
 			s.peerHits++
 			s.mu.Unlock()
+			s.tracer.Record(j.rid, "peer_fetch", fetchStart, time.Since(fetchStart),
+				map[string]string{"hit": "true"})
+			cw := time.Now()
 			s.cache.Put(j.Key, res)
+			s.tracer.Record(j.rid, "cache_write", cw, time.Since(cw), nil)
 			j.setPeerFetched()
 			j.finish(StatusDone, res, "")
 			return
@@ -385,6 +443,8 @@ func (s *Server) runJob(j *Job, workers int) {
 		s.mu.Lock()
 		s.peerMisses++
 		s.mu.Unlock()
+		s.tracer.Record(j.rid, "peer_fetch", fetchStart, time.Since(fetchStart),
+			map[string]string{"hit": "false"})
 		if ctx.Err() != nil {
 			// The fetch consumed the job's deadline or the client
 			// cancelled mid-fetch; don't start an engine run that would
@@ -398,10 +458,16 @@ func (s *Server) runJob(j *Job, workers int) {
 		}
 	}
 	pool := runner.Pool{Workers: workers, BaseSeed: j.Spec.Seed, Progress: j.progress}
+	runStart := time.Now()
 	res, err := execute(ctx, j.Spec, pool)
+	s.tracer.Record(j.rid, "run", runStart, time.Since(runStart), map[string]string{
+		"kind": j.Spec.Kind, "shards": strconv.FormatInt(j.shardsDone.Load(), 10),
+	})
 	switch {
 	case err == nil:
+		cw := time.Now()
 		s.cache.Put(j.Key, res)
+		s.tracer.Record(j.rid, "cache_write", cw, time.Since(cw), nil)
 		j.finish(StatusDone, res, "")
 	case errors.Is(err, context.Canceled):
 		j.finish(StatusCanceled, nil, err.Error())
@@ -513,7 +579,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j, dedup, err := s.Submit(spec)
+	j, dedup, err := s.SubmitCtx(r.Context(), spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -688,6 +754,12 @@ func (s *Server) handleCacheFetch(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		s.peerServed++
 		s.mu.Unlock()
+		// Recorded under the *fetching* daemon's request ID (propagated in
+		// the request header), so the owner's serve shows up in the trace
+		// of the miss that triggered the fetch.
+		obs.Record(r.Context(), "peer_serve", time.Now(), map[string]string{
+			"key": key[:8],
+		})
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("ETag", `"`+key+`"`)
 		w.Write(b)
@@ -717,6 +789,39 @@ func (s *Server) handleCacheFetch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusNotFound, apiError{Error: "not cached"})
+}
+
+// TraceView is the JSON document of GET /v1/jobs/{id}/trace and
+// GET /v1/trace/{rid}: the spans one process recorded under a request
+// ID. The fleet front assembles a cross-process trace by fetching this
+// document from every member and merging on start time.
+type TraceView struct {
+	RequestID string     `json:"request_id"`
+	JobID     string     `json:"job_id,omitempty"`
+	Spans     []obs.Span `json:"spans"`
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	spans := s.tracer.Spans(j.rid)
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	writeJSON(w, http.StatusOK, TraceView{RequestID: j.rid, JobID: j.ID, Spans: spans})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rid := r.PathValue("rid")
+	spans := s.tracer.Spans(rid)
+	if spans == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no trace for request id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceView{RequestID: rid, Spans: spans})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -6,6 +6,7 @@
 #   scripts/verify.sh --level=race          # race-detector subset + fuzz corpus
 #   scripts/verify.sh --level=differential  # scenario-grid fast/slow scan
 #   scripts/verify.sh --level=smoke         # rxld HTTP serving-contract drill
+#   scripts/verify.sh --level=metrics       # /metrics + trace contract + rxltop drill
 #   scripts/verify.sh --level=fleet         # 3-daemon fleet + front byte-identity e2e
 #   scripts/verify.sh --level=compose       # same drill via docker compose (skips w/o docker)
 #   scripts/verify.sh --level=bench         # gated benchmark suite + benchgate
@@ -21,7 +22,7 @@ for arg in "$@"; do
   case "$arg" in
     --level=*) level="${arg#--level=}" ;;
     *)
-      echo "usage: $0 [--level=unit|race|differential|smoke|fleet|compose|bench|all]" >&2
+      echo "usage: $0 [--level=unit|race|differential|smoke|metrics|fleet|compose|bench|all]" >&2
       exit 2
       ;;
   esac
@@ -44,7 +45,8 @@ rung_unit() {
 
 rung_race() {
   run go test -race ./internal/runner/ ./internal/core/ ./internal/reliability/... \
-    ./internal/service/ ./internal/fleet/ ./internal/workload/ ./internal/trace/ ./cmd/rxlsim/ .
+    ./internal/service/ ./internal/fleet/ ./internal/obs/ ./internal/workload/ \
+    ./internal/trace/ ./cmd/rxlsim/ .
   # Fuzz seed corpus (replay parsing only, no long fuzzing).
   run go test -run 'Fuzz.*' ./internal/trace/
 }
@@ -61,6 +63,7 @@ rung_smoke() {
   # operator would, and assert the serving contract — the repeat of an
   # identical job must be a cache hit with a byte-identical result.
   run go build -o rxld ./cmd/rxld
+  rm -f rxld.addr
   ./rxld -addr 127.0.0.1:0 -addr-file rxld.addr &
   RXLD_PID=$!
   trap 'kill "$RXLD_PID" 2>/dev/null || true' EXIT
@@ -94,6 +97,88 @@ rung_smoke() {
 
   kill "$RXLD_PID"
   trap - EXIT
+}
+
+rung_metrics() {
+  # Observability contract: the daemon exposes valid Prometheus text with
+  # the documented families and outcome-split latency histograms, a
+  # client-sent request id resolves to a lifecycle trace, and rxltop
+  # renders a 3-member fleet map from nothing but /metrics endpoints.
+  run go build -o rxld ./cmd/rxld
+  BASE=$(mktemp -d)
+  run go build -o "$BASE/rxltop" ./cmd/rxltop
+
+  rm -f rxld.addr
+  ./rxld -addr 127.0.0.1:0 -addr-file rxld.addr &
+  RXLD_PID=$!
+  trap 'kill "$RXLD_PID" 2>/dev/null || true' EXIT
+  for _ in $(seq 50); do [ -s rxld.addr ] && break; sleep 0.2; done
+  ADDR=$(cat rxld.addr)
+  echo "daemon at $ADDR"
+
+  SPEC='{"kind":"grid","seed":11,"grid":{"Base":{"Protocol":2,"Levels":1,"BER":1e-6},"N":2000}}'
+  RID=feedfacecafe0001
+  FIRST=$(curl -fsS -X POST -H "X-Rxl-Request-Id: $RID" "http://$ADDR/v1/jobs" -d "$SPEC")
+  ID=$(echo "$FIRST" | jq -r .id)
+  test "$(echo "$FIRST" | jq -r .request_id)" = "$RID"
+  DONE=$(curl -fsS "http://$ADDR/v1/jobs/$ID?wait=60000")
+  test "$(echo "$DONE" | jq -r .status)" = done
+  SECOND=$(curl -fsS -X POST "http://$ADDR/v1/jobs" -d "$SPEC")
+  test "$(echo "$SECOND" | jq -r .cached)" = true
+
+  # Every documented family is present, and the outcome split advanced:
+  # exactly one miss (the compute) and one hit (the repeat) so far.
+  curl -fsS "http://$ADDR/metrics" >"$BASE/metrics.txt"
+  for fam in rxld_uptime_seconds rxld_queue_depth rxld_shard_utilization \
+             rxld_jobs_submitted_total rxld_jobs_completed_total \
+             rxld_cache_entries rxld_cache_bytes rxld_cache_hits_total \
+             rxld_request_seconds_bucket rxld_request_seconds_count; do
+    grep -q "^$fam" "$BASE/metrics.txt" || { echo "missing family $fam" >&2; return 1; }
+  done
+  grep -q 'rxld_request_seconds_count{outcome="miss"} 1$' "$BASE/metrics.txt"
+  grep -q 'rxld_request_seconds_count{outcome="hit"} 1$' "$BASE/metrics.txt"
+
+  # The propagated request id resolves to the job's lifecycle trace.
+  TRACE=$(curl -fsS "http://$ADDR/v1/jobs/$ID/trace")
+  echo "$TRACE" | jq -e --arg rid "$RID" '.request_id == $rid'
+  echo "$TRACE" | jq -e '[.spans[].name] | contains(["submit", "run", "finish"])'
+  curl -fsS "http://$ADDR/v1/trace/$RID" | jq -e '.spans | length > 0'
+
+  kill "$RXLD_PID"
+  trap - EXIT
+
+  # 3-member fleet + front with active probing: the front's per-peer
+  # families render, and rxltop folds the whole fleet into one map.
+  P1=17091 P2=17092 P3=17093 PF=17090
+  PEERS="http://127.0.0.1:$P1,http://127.0.0.1:$P2,http://127.0.0.1:$P3"
+  PIDS=()
+  for p in $P1 $P2 $P3; do
+    ./rxld -addr "127.0.0.1:$p" -fleet-self "http://127.0.0.1:$p" -fleet-peers "$PEERS" &
+    PIDS+=($!)
+  done
+  ./rxld -addr "127.0.0.1:$PF" -fleet "$PEERS" -fleet-probe-interval 250ms &
+  PIDS+=($!)
+  trap 'kill "${PIDS[@]}" 2>/dev/null || true' EXIT
+  for p in $P1 $P2 $P3 $PF; do
+    for _ in $(seq 50); do
+      curl -fsS "http://127.0.0.1:$p/v1/healthz" >/dev/null 2>&1 && break
+      sleep 0.2
+    done
+  done
+  curl -fsS -X POST "http://127.0.0.1:$PF/v1/jobs" -d "$SPEC" >/dev/null
+  sleep 1 # let a probe round land
+  curl -fsS "http://127.0.0.1:$PF/metrics" | grep -q '^rxlfront_peer_up'
+
+  "$BASE/rxltop" -once -front "http://127.0.0.1:$PF" | tee "$BASE/top.txt"
+  grep -q "FRONT http://127.0.0.1:$PF" "$BASE/top.txt"
+  grep -q '^MEMBER' "$BASE/top.txt"
+  for p in $P1 $P2 $P3; do
+    grep "127.0.0.1:$p" "$BASE/top.txt" | grep -qv DOWN
+  done
+
+  kill "${PIDS[@]}" 2>/dev/null || true
+  trap - EXIT
+  rm -rf "$BASE"
 }
 
 # fleet_drill BASE FRONT D1 D2 D3 — the shared fleet serving-contract
@@ -254,6 +339,7 @@ unit) rung_unit ;;
 race) rung_race ;;
 differential) rung_differential ;;
 smoke) rung_smoke ;;
+metrics) rung_metrics ;;
 fleet) rung_fleet ;;
 compose) rung_compose ;;
 bench) rung_bench ;;
@@ -262,12 +348,13 @@ all)
   rung_race
   rung_differential
   rung_smoke
+  rung_metrics
   rung_fleet
   rung_compose
   rung_bench
   ;;
 *)
-  echo "unknown level '$level' (want unit|race|differential|smoke|fleet|compose|bench|all)" >&2
+  echo "unknown level '$level' (want unit|race|differential|smoke|metrics|fleet|compose|bench|all)" >&2
   exit 2
   ;;
 esac
