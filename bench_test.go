@@ -29,6 +29,7 @@ import (
 	"repro/internal/hwcost"
 	"repro/internal/phy"
 	"repro/internal/reliability"
+	"repro/internal/rs"
 )
 
 // --- E1-E5: Section 7.1 equations ---------------------------------------
@@ -246,9 +247,11 @@ var sinkU64 uint64
 
 // BenchmarkCRCSlicing is the table-kernel ablation over a full 242-byte
 // flit input (header + payload, the dirty-flit materialization unit):
-// slicing-by-16 (the hot-path engine behind crc.Update/Checksum/Verify),
-// slicing-by-8, single-table, and the bit-serial reference. CI gates the
-// by16 leg absolutely and the table/by16 ratio machine-invariantly.
+// slicing-by-16 (the widest portable table engine and the purego hot
+// path), slicing-by-8, single-table, and the bit-serial reference. The
+// dispatched hot path (CLMUL where available) is BenchmarkCRCCLMUL. CI
+// gates the by16 leg absolutely and the table/by16 ratio
+// machine-invariantly.
 func BenchmarkCRCSlicing(b *testing.B) {
 	buf := make([]byte, 242)
 	phy.NewRNG(1).Fill(buf)
@@ -256,7 +259,7 @@ func BenchmarkCRCSlicing(b *testing.B) {
 		name string
 		fn   func(uint64, []byte) uint64
 	}{
-		{"by16", crc.Update},
+		{"by16", crc.UpdateSlicing16},
 		{"by8", crc.UpdateSlicing8},
 		{"table", crc.UpdateTable},
 		{"bitwise", crc.UpdateBitwise},
@@ -269,6 +272,55 @@ func BenchmarkCRCSlicing(b *testing.B) {
 			}
 			sinkU64 = sum
 		})
+	}
+}
+
+// BenchmarkCRCCLMUL measures the dispatched crc.Update hot path over the
+// same 242-byte flit input as BenchmarkCRCSlicing — the PCLMULQDQ folding
+// kernel on amd64. CI gates the clmul/by16 speedup ratio (≥4×)
+// machine-invariantly when the host has the instruction.
+func BenchmarkCRCCLMUL(b *testing.B) {
+	if !crc.UsingCLMUL() {
+		b.Skip("no CLMUL on this host/build")
+	}
+	buf := make([]byte, 242)
+	phy.NewRNG(1).Fill(buf)
+	b.Run("clmul", func(b *testing.B) {
+		b.SetBytes(int64(len(buf)))
+		var sum uint64
+		for i := 0; i < b.N; i++ {
+			sum ^= crc.Update(0, buf)
+		}
+		sinkU64 = sum
+	})
+}
+
+// BenchmarkRSSyndromeVectored compares the word-parallel RS syndrome
+// front-end (rs.Code.Verify, the skip-path engine behind every FEC check)
+// against the byte-level reference loop over one CXL sub-block
+// (86-symbol codeword, 2 parity). CI gates the bytelevel/vectored ratio
+// (≥3×) machine-invariantly.
+func BenchmarkRSSyndromeVectored(b *testing.B) {
+	c := rs.MustNew(84, 2)
+	data := make([]byte, 84)
+	parity := make([]byte, 2)
+	phy.NewRNG(3).Fill(data)
+	c.Encode(data, parity)
+	ok := false
+	b.Run("vectored", func(b *testing.B) {
+		b.SetBytes(int64(len(data) + len(parity)))
+		for i := 0; i < b.N; i++ {
+			ok = c.Verify(data, parity)
+		}
+	})
+	b.Run("bytelevel", func(b *testing.B) {
+		b.SetBytes(int64(len(data) + len(parity)))
+		for i := 0; i < b.N; i++ {
+			ok = c.VerifyReference(data, parity)
+		}
+	})
+	if !ok {
+		b.Fatal("benchmark codeword failed verify")
 	}
 }
 

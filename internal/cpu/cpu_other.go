@@ -1,0 +1,11 @@
+//go:build !amd64 || purego
+
+package cpu
+
+// detectionActive is false in this build: detect below is a no-op.
+const detectionActive = false
+
+// detect is a no-op off amd64 and under the purego build tag: every
+// feature flag stays false, so all kernels use their portable reference
+// implementations.
+func detect() {}

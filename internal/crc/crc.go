@@ -8,13 +8,17 @@
 // for arbitrary corruption — so any well-conditioned CRC-64 reproduces the
 // evaluation.
 //
-// Four implementations are provided and cross-checked by tests: a
+// Five implementations are provided and cross-checked by tests: a
 // bit-serial reference, a single-table byte-at-a-time engine, a
-// slicing-by-8 engine, and the slicing-by-16 engine used on the hot path
-// (16 precomputed 256-entry tables consume one 16-byte block per
-// iteration with two independent 8-byte loads, so the table lookups of
-// the two halves overlap in the pipeline). The throughput spread between
-// them is one of the ablations called out in DESIGN.md.
+// slicing-by-8 engine, the slicing-by-16 engine (16 precomputed 256-entry
+// tables consume one 16-byte block per iteration with two independent
+// 8-byte loads, so the table lookups of the two halves overlap in the
+// pipeline), and a PCLMULQDQ carry-less-multiply folding kernel in Go
+// assembly (crc_amd64.s). Update dispatches between the last two at
+// runtime via internal/cpu feature detection; building with -tags purego
+// (or setting RXL_PUREGO) pins everything to the portable table engines.
+// The throughput spread between the engines is one of the ablations
+// called out in DESIGN.md.
 //
 // # ISN encoding
 //
@@ -71,10 +75,37 @@ func init() {
 	}
 }
 
-// Update processes data into the running CRC state using the slicing-by-16
-// engine (8-byte and byte-at-a-time tails) and returns the new state. A
-// zero state is a fresh checksum.
+// clmulMin is the shortest input Update hands to the carry-less-multiply
+// kernel. Below it the folding prologue/epilogue overhead rivals the table
+// engine, and the dominant short inputs (ChecksumISN tails, sub-16-byte
+// segments) stay on the slicing path anyway.
+const clmulMin = 64
+
+// Update processes data into the running CRC state and returns the new
+// state. A zero state is a fresh checksum.
+//
+// Update is the dispatch point of the kernel layer: on amd64 hosts with
+// carry-less multiply (and outside the purego build tag) inputs of at
+// least clmulMin bytes fold through the PCLMULQDQ kernel in crc_amd64.s;
+// everything else runs the portable slicing-by-16 engine. All engines are
+// bit-identical by construction and pinned against each other by the
+// differential and fuzz suites.
 func Update(crc uint64, data []byte) uint64 {
+	if hasCLMUL && len(data) >= clmulMin {
+		return updateCLMUL(crc, data)
+	}
+	return UpdateSlicing16(crc, data)
+}
+
+// UsingCLMUL reports whether Update dispatches long inputs to the
+// carry-less-multiply kernel on this host (amd64 with PCLMULQDQ+SSE4.1,
+// not built with -tags purego, not disabled via RXL_PUREGO).
+func UsingCLMUL() bool { return hasCLMUL }
+
+// UpdateSlicing16 is the slicing-by-16 engine (8-byte and byte-at-a-time
+// tails): the portable hot path, the dispatch fallback, and the reference
+// the CLMUL kernel is differentially pinned against.
+func UpdateSlicing16(crc uint64, data []byte) uint64 {
 	for len(data) >= 16 {
 		// One 16-byte block per iteration: the running state folds into
 		// the high half, and each half's eight table lookups depend only
@@ -104,6 +135,29 @@ func Update(crc uint64, data []byte) uint64 {
 		data = data[16:]
 	}
 	return UpdateSlicing8(crc, data)
+}
+
+// foldReduce finishes the carry-less-multiply kernel: the 128-bit folding
+// accumulator (hi·x^64 + lo) is congruent mod P to the whole processed
+// stream, so the running CRC state is exactly the checksum of its 16 bytes
+// taken big-endian — one slicing-by-16 table round, no Barrett constants.
+func foldReduce(hi, lo uint64) uint64 {
+	return sliceTbl[15][byte(hi>>56)] ^
+		sliceTbl[14][byte(hi>>48)] ^
+		sliceTbl[13][byte(hi>>40)] ^
+		sliceTbl[12][byte(hi>>32)] ^
+		sliceTbl[11][byte(hi>>24)] ^
+		sliceTbl[10][byte(hi>>16)] ^
+		sliceTbl[9][byte(hi>>8)] ^
+		sliceTbl[8][byte(hi)] ^
+		sliceTbl[7][byte(lo>>56)] ^
+		sliceTbl[6][byte(lo>>48)] ^
+		sliceTbl[5][byte(lo>>40)] ^
+		sliceTbl[4][byte(lo>>32)] ^
+		sliceTbl[3][byte(lo>>24)] ^
+		sliceTbl[2][byte(lo>>16)] ^
+		sliceTbl[1][byte(lo>>8)] ^
+		sliceTbl[0][byte(lo)]
 }
 
 // UpdateSlicing8 is the slicing-by-8 engine: one 8-byte block per
@@ -186,26 +240,32 @@ func ChecksumISN(seq uint16, segments ...[]byte) uint64 {
 		panic("crc: ChecksumISN needs at least 2 bytes of message")
 	}
 	var crc uint64
-	remaining := total
+	pos := 0
 	for _, s := range segments {
-		if remaining-len(s) >= 2 {
-			// Entire segment lies before the folded tail.
-			crc = Update(crc, s)
-			remaining -= len(s)
-			continue
+		// Everything before stream position total-2 is untouched by the
+		// fold: run it through the dispatched block engine. Only the
+		// final two bytes of the stream go byte-at-a-time with the
+		// sequence bits XORed in.
+		clean := total - 2 - pos
+		if clean > len(s) {
+			clean = len(s)
 		}
-		// Segment overlaps the final two bytes: process the clean
-		// prefix, then fold byte-by-byte.
-		for _, b := range s {
-			switch remaining {
-			case 2:
+		if clean > 0 {
+			crc = Update(crc, s[:clean])
+		} else {
+			clean = 0
+		}
+		for i := clean; i < len(s); i++ {
+			b := s[i]
+			switch pos + i {
+			case total - 2:
 				b ^= byte(seq >> 8) // bits 9:8 into second-to-last byte
-			case 1:
+			case total - 1:
 				b ^= byte(seq) // bits 7:0 into last byte
 			}
 			crc = table[byte(crc>>56)^b] ^ crc<<8
-			remaining--
 		}
+		pos += len(s)
 	}
 	return crc
 }

@@ -1,0 +1,170 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// CRC-64/ECMA-182 carry-less-multiply folding (PCLMULQDQ), normal
+// (MSB-first) bit order.
+//
+// The message is a GF(2) polynomial with the first byte's MSB as the
+// highest-degree coefficient, so 16-byte blocks are byte-reversed on load
+// (PSHUFB) to line the polynomial up big-endian in the XMM register. A
+// 128-bit accumulator A (hi·x^64 + lo) folds forward across d bits of
+// message via two carry-less multiplies:
+//
+//	A·x^d ≡ hi ⊗ (x^(d+64) mod P) ⊕ lo ⊗ (x^d mod P)   (mod P)
+//
+// Each product is ≤126 bits, so the folded value stays in one register and
+// the next data block XORs straight in. The main loop keeps four
+// independent accumulators over a 64-byte stride (fold distance 512 bits);
+// the epilogue folds them together at distance 128 and consumes the
+// remaining 16-byte blocks. The final 128→64-bit reduction happens in Go
+// (foldReduce: one slicing-by-16 table round over the accumulator bytes),
+// keeping the assembly free of Barrett-reduction constants.
+//
+// Fold constants, x^e mod P for P = x^64 + 0x42F0E1EBA9EA3693 (generated
+// by the TestFoldConstants derivation in crc_clmul_test.go):
+//
+//	x^128 = 0x05F5C3C7EB52FAB6    x^192 = 0x4EB938A7D257740E
+//	x^512 = 0x5F6843CA540DF020    x^576 = 0xDDF4B6981205B83F
+
+// PSHUFB control: reverse the 16 bytes of a register.
+DATA bswap16<>+0(SB)/8, $0x08090a0b0c0d0e0f
+DATA bswap16<>+8(SB)/8, $0x0001020304050607
+GLOBL bswap16<>(SB), RODATA|NOPTR, $16
+
+// 128-bit-distance fold pair: low qword x^128, high qword x^192.
+DATA k128<>+0(SB)/8, $0x05F5C3C7EB52FAB6
+DATA k128<>+8(SB)/8, $0x4EB938A7D257740E
+GLOBL k128<>(SB), RODATA|NOPTR, $16
+
+// 512-bit-distance fold pair: low qword x^512, high qword x^576.
+DATA k512<>+0(SB)/8, $0x5F6843CA540DF020
+DATA k512<>+8(SB)/8, $0xDDF4B6981205B83F
+GLOBL k512<>(SB), RODATA|NOPTR, $16
+
+// func clmulBlocks(crc uint64, p *byte, n int) (hi, lo uint64)
+//
+// Folds n bytes at p (n ≥ 16 and n%16 == 0; the Go wrapper guarantees
+// both) into a 128-bit accumulator congruent mod P to the byte stream with
+// the running crc state prepended. The caller finishes with foldReduce.
+TEXT ·clmulBlocks(SB), NOSPLIT, $0-40
+	MOVQ crc+0(FP), AX
+	MOVQ p+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVOU bswap16<>(SB), X15
+
+	// X5 = crc << 64: the running state joins the highest-degree end of
+	// the first block, exactly as the table engines fold it into the
+	// first 8 bytes.
+	MOVQ AX, X5
+	PSLLDQ $8, X5
+
+	CMPQ CX, $64
+	JB   small
+
+	// Prime four lanes from the first 64 bytes. Lane 0 holds the
+	// highest-degree block and absorbs the running state.
+	MOVOU  0(SI), X0
+	MOVOU  16(SI), X1
+	MOVOU  32(SI), X2
+	MOVOU  48(SI), X3
+	PSHUFB X15, X0
+	PSHUFB X15, X1
+	PSHUFB X15, X2
+	PSHUFB X15, X3
+	PXOR   X5, X0
+	ADDQ   $64, SI
+	SUBQ   $64, CX
+	MOVOU  k512<>(SB), X7
+
+loop64:
+	CMPQ CX, $64
+	JB   combine
+
+	MOVOA     X0, X8
+	PCLMULQDQ $0x00, X7, X0 // lo(A0) ⊗ x^512
+	PCLMULQDQ $0x11, X7, X8 // hi(A0) ⊗ x^576
+	PXOR      X8, X0
+	MOVOU     0(SI), X8
+	PSHUFB    X15, X8
+	PXOR      X8, X0
+
+	MOVOA     X1, X8
+	PCLMULQDQ $0x00, X7, X1
+	PCLMULQDQ $0x11, X7, X8
+	PXOR      X8, X1
+	MOVOU     16(SI), X8
+	PSHUFB    X15, X8
+	PXOR      X8, X1
+
+	MOVOA     X2, X8
+	PCLMULQDQ $0x00, X7, X2
+	PCLMULQDQ $0x11, X7, X8
+	PXOR      X8, X2
+	MOVOU     32(SI), X8
+	PSHUFB    X15, X8
+	PXOR      X8, X2
+
+	MOVOA     X3, X8
+	PCLMULQDQ $0x00, X7, X3
+	PCLMULQDQ $0x11, X7, X8
+	PXOR      X8, X3
+	MOVOU     48(SI), X8
+	PSHUFB    X15, X8
+	PXOR      X8, X3
+
+	ADDQ $64, SI
+	SUBQ $64, CX
+	JMP  loop64
+
+combine:
+	// Fold the four lanes into one at 128-bit distance:
+	// A = fold(fold(fold(A0)⊕A1)⊕A2)⊕A3.
+	MOVOU     k128<>(SB), X7
+	MOVOA     X0, X8
+	PCLMULQDQ $0x00, X7, X0
+	PCLMULQDQ $0x11, X7, X8
+	PXOR      X8, X0
+	PXOR      X1, X0
+	MOVOA     X0, X8
+	PCLMULQDQ $0x00, X7, X0
+	PCLMULQDQ $0x11, X7, X8
+	PXOR      X8, X0
+	PXOR      X2, X0
+	MOVOA     X0, X8
+	PCLMULQDQ $0x00, X7, X0
+	PCLMULQDQ $0x11, X7, X8
+	PXOR      X8, X0
+	PXOR      X3, X0
+	JMP       tail16
+
+small:
+	// 16–48 bytes: single accumulator, no 4-way stride.
+	MOVOU  0(SI), X0
+	PSHUFB X15, X0
+	PXOR   X5, X0
+	ADDQ   $16, SI
+	SUBQ   $16, CX
+	MOVOU  k128<>(SB), X7
+
+tail16:
+	CMPQ CX, $16
+	JB   done
+
+	MOVOA     X0, X8
+	PCLMULQDQ $0x00, X7, X0
+	PCLMULQDQ $0x11, X7, X8
+	PXOR      X8, X0
+	MOVOU     0(SI), X8
+	PSHUFB    X15, X8
+	PXOR      X8, X0
+	ADDQ      $16, SI
+	SUBQ      $16, CX
+	JMP       tail16
+
+done:
+	PEXTRQ $1, X0, AX
+	MOVQ   X0, BX
+	MOVQ   AX, hi+24(FP)
+	MOVQ   BX, lo+32(FP)
+	RET

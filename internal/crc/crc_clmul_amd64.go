@@ -1,0 +1,30 @@
+//go:build amd64 && !purego
+
+package crc
+
+import "repro/internal/cpu"
+
+// hasCLMUL gates Update's dispatch to the PCLMULQDQ folding kernel. SSE4.1
+// is required for the epilogue's PEXTRQ; every CPU shipping PCLMULQDQ has
+// it, but the dispatch checks anyway so the pairing is explicit.
+var hasCLMUL = cpu.X86.HasPCLMULQDQ && cpu.X86.HasSSE41
+
+// clmulBlocks is implemented in crc_amd64.s. It folds n bytes at p
+// (n ≥ 16, n%16 == 0) into a 128-bit accumulator congruent mod P to the
+// byte stream with crc prepended.
+//
+//go:noescape
+func clmulBlocks(crc uint64, p *byte, n int) (hi, lo uint64)
+
+// updateCLMUL is the asm-backed engine behind Update: fold all whole
+// 16-byte blocks with carry-less multiplies, reduce the accumulator with
+// one table round, and finish the sub-block tail byte-at-a-time.
+func updateCLMUL(crc uint64, data []byte) uint64 {
+	blocks := len(data) &^ 15
+	hi, lo := clmulBlocks(crc, &data[0], blocks)
+	crc = foldReduce(hi, lo)
+	for _, b := range data[blocks:] {
+		crc = table[byte(crc>>56)^b] ^ crc<<8
+	}
+	return crc
+}

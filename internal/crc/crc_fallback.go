@@ -1,0 +1,14 @@
+//go:build !amd64 || purego
+
+package crc
+
+// hasCLMUL is constant-false off amd64 and under the purego build tag, so
+// Update's dispatch branch folds away entirely and the slicing-by-16
+// engine is the hot path, exactly as before the kernel layer existed.
+const hasCLMUL = false
+
+// updateCLMUL is unreachable when hasCLMUL is false; the stub exists so
+// Update compiles identically under every build configuration.
+func updateCLMUL(crc uint64, data []byte) uint64 {
+	panic("crc: updateCLMUL without CLMUL support")
+}

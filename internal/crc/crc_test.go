@@ -19,8 +19,11 @@ func TestEnginesAgree(t *testing.T) {
 			if got := UpdateSlicing8(0, data); got != ref {
 				t.Fatalf("n=%d: slicing-8 %#x != bitwise %#x", n, got, ref)
 			}
-			if got := Update(0, data); got != ref {
+			if got := UpdateSlicing16(0, data); got != ref {
 				t.Fatalf("n=%d: slicing-16 %#x != bitwise %#x", n, got, ref)
+			}
+			if got := Update(0, data); got != ref {
+				t.Fatalf("n=%d: dispatched %#x != bitwise %#x", n, got, ref)
 			}
 		}
 	}
@@ -31,6 +34,7 @@ func TestEnginesAgreeProperty(t *testing.T) {
 		ref := UpdateBitwise(init, data)
 		return UpdateTable(init, data) == ref &&
 			UpdateSlicing8(init, data) == ref &&
+			UpdateSlicing16(init, data) == ref &&
 			Update(init, data) == ref
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
@@ -278,11 +282,22 @@ func TestUpdateIncrementalSplits(t *testing.T) {
 	}
 }
 
-func BenchmarkChecksumSlicing16Flit(b *testing.B) {
+func BenchmarkChecksumCLMULFlit(b *testing.B) {
+	if !UsingCLMUL() {
+		b.Skip("no CLMUL on this host/build")
+	}
 	data := make([]byte, 242)
 	b.SetBytes(int64(len(data)))
 	for i := 0; i < b.N; i++ {
 		sink = Update(0, data)
+	}
+}
+
+func BenchmarkChecksumSlicing16Flit(b *testing.B) {
+	data := make([]byte, 242)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		sink = UpdateSlicing16(0, data)
 	}
 }
 

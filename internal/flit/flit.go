@@ -15,6 +15,11 @@
 // The CRC covers header+payload (plus the folded sequence number under
 // ISN); the FEC covers header+payload+CRC (250 bytes) with the 3-way
 // interleaved single-symbol-correct Reed-Solomon code from internal/rs.
+//
+// Both coding kernels dispatch on CPU features at startup (CLMUL CRC
+// folding, word-parallel RS syndromes; see DESIGN.md §16). The bytes a
+// sealed flit carries are identical on every path — TestSealReference
+// pins them against the portable reference kernels.
 package flit
 
 import (

@@ -195,6 +195,25 @@ func (il *Interleaved) Verify(data, parity []byte) bool {
 	return true
 }
 
+// VerifyReference is Verify on the byte-level reference syndrome loop of
+// every way, bypassing the word-parallel kernel. Differential suites use it
+// as the pinned slow path; simulation code should call Verify.
+func (il *Interleaved) VerifyReference(data, parity []byte) bool {
+	if len(data) != il.total || len(parity) != il.ParityLen() {
+		panic("rs: interleaved Verify length mismatch")
+	}
+	il.deinterleave(data)
+	for x := range parity {
+		il.parity[il.parityWay[x]][il.parityIdx[x]] = parity[x]
+	}
+	for w, c := range il.codes {
+		if !c.VerifyReference(il.deint[w], il.parity[w]) {
+			return false
+		}
+	}
+	return true
+}
+
 // VacantFraction returns the fraction of the mother-code position space that
 // is vacant for way w — the source of the shortened code's detection power
 // (~170/255 = 2/3 for the CXL sub-blocks).

@@ -66,6 +66,9 @@ type Code struct {
 	nparity int    // parity symbols (2t)
 	n       int    // codeword length k+nparity
 	gen     []byte // generator polynomial, monic, highest degree first
+	// vec is the shared word-parallel syndrome table bank (see
+	// syndrome.go); nil when nparity exceeds the packed lane count.
+	vec *synTab
 }
 
 // New constructs a shortened RS code with k data symbols and nparity parity
@@ -84,7 +87,7 @@ func New(k, nparity int) (*Code, error) {
 	for j := 0; j < nparity; j++ {
 		gen = gf256.PolyMul(gen, []byte{1, gf256.Exp(j)})
 	}
-	return &Code{k: k, nparity: nparity, n: k + nparity, gen: gen}, nil
+	return &Code{k: k, nparity: nparity, n: k + nparity, gen: gen, vec: synTabFor(nparity)}, nil
 }
 
 // MustNew is like New but panics on error. Intended for package-level
@@ -140,7 +143,27 @@ func (c *Code) Encode(data, parity []byte) {
 // syndromes computes S_j = r(alpha^j) for j in [0, nparity) over the
 // received word (data || parity). It returns the syndrome slice and whether
 // all syndromes are zero.
+//
+// This is the dispatch point of the RS kernel layer: codes with at most
+// synLanes parity symbols evaluate all syndromes word-parallel (see
+// syndrome.go) unless built with -tags purego, which pins the byte-level
+// reference below. Both paths are bit-identical by construction and the
+// differential and fuzz suites hold them to it.
 func (c *Code) syndromes(data, parity []byte, synd []byte) bool {
+	if vectoredSyndromes && c.vec != nil {
+		w := c.syndromeWord(data, parity)
+		for j := 0; j < c.nparity; j++ {
+			synd[j] = byte(w >> (8 * uint(j)))
+		}
+		return w == 0
+	}
+	return c.syndromesRef(data, parity, synd)
+}
+
+// syndromesRef is the byte-at-a-time Horner reference — the loop every
+// vectored path is differentially pinned against. Kept verbatim from the
+// pre-kernel implementation; do not "optimize" it.
+func (c *Code) syndromesRef(data, parity []byte, synd []byte) bool {
 	allZero := true
 	for j := 0; j < c.nparity; j++ {
 		x := gf256.Exp(j)
@@ -196,12 +219,33 @@ func (c *Code) Verify(data, parity []byte) bool {
 	if len(data) != c.k || len(parity) != c.nparity {
 		panic("rs: Verify length mismatch")
 	}
+	if vectoredSyndromes && c.vec != nil {
+		// The packed word is zero exactly when every syndrome is; no
+		// unpacking, no scratch.
+		return c.syndromeWord(data, parity) == 0
+	}
 	var buf [8]byte
 	synd := buf[:]
 	if c.nparity > len(buf) {
 		synd = make([]byte, c.nparity)
 	}
-	return c.syndromes(data, parity, synd[:c.nparity])
+	return c.syndromesRef(data, parity, synd[:c.nparity])
+}
+
+// VerifyReference is Verify on the byte-at-a-time reference loop,
+// regardless of build tags or CPU features — the pinned baseline for the
+// differential suites and the kernel benchmarks. Simulation code should
+// call Verify.
+func (c *Code) VerifyReference(data, parity []byte) bool {
+	if len(data) != c.k || len(parity) != c.nparity {
+		panic("rs: Verify length mismatch")
+	}
+	var buf [8]byte
+	synd := buf[:]
+	if c.nparity > len(buf) {
+		synd = make([]byte, c.nparity)
+	}
+	return c.syndromesRef(data, parity, synd[:c.nparity])
 }
 
 // decodeSingle is the fast path for the 2-parity single-symbol-correct codes

@@ -1,0 +1,8 @@
+//go:build !purego
+
+package rs
+
+// vectoredSyndromes selects the word-parallel syndrome evaluator for
+// codes with at most synLanes parity symbols. Constant, so the dispatch
+// branch in syndromes/Verify folds away at compile time.
+const vectoredSyndromes = true

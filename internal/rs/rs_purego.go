@@ -1,0 +1,8 @@
+//go:build purego
+
+package rs
+
+// vectoredSyndromes is false under the purego build tag: every syndrome
+// computation runs the byte-at-a-time reference loops, making this build
+// the pinned baseline the default build is differentially tested against.
+const vectoredSyndromes = false

@@ -2,8 +2,9 @@
 # Tiered verification ladder. Every CI job calls one rung of this script,
 # so the exact commands CI enforces are runnable (and debuggable) locally:
 #
-#   scripts/verify.sh --level=unit          # vet + build + tests + bench smoke
+#   scripts/verify.sh --level=unit          # vet + build (incl. purego) + tests + bench smoke
 #   scripts/verify.sh --level=race          # race-detector subset + fuzz corpus
+#   scripts/verify.sh --level=kernels       # coding-kernel differential: default vs -tags purego
 #   scripts/verify.sh --level=differential  # scenario-grid fast/slow scan
 #   scripts/verify.sh --level=smoke         # rxld HTTP serving-contract drill
 #   scripts/verify.sh --level=metrics       # /metrics + trace contract + rxltop drill
@@ -22,7 +23,7 @@ for arg in "$@"; do
   case "$arg" in
     --level=*) level="${arg#--level=}" ;;
     *)
-      echo "usage: $0 [--level=unit|race|differential|smoke|metrics|fleet|compose|bench|all]" >&2
+      echo "usage: $0 [--level=unit|race|kernels|differential|smoke|metrics|fleet|compose|bench|all]" >&2
       exit 2
       ;;
   esac
@@ -36,6 +37,9 @@ run() {
 rung_unit() {
   run go vet ./...
   run go build ./...
+  # The purego build is the pinned reference for every SIMD-dispatched
+  # kernel; it must always compile even when only the asm path changed.
+  run go build -tags purego ./...
   run go test ./...
   # Benchmark smoke: one iteration of everything, so a benchmark that no
   # longer compiles or trips its own assertions fails fast here rather
@@ -49,6 +53,23 @@ rung_race() {
     ./internal/trace/ ./cmd/rxlsim/ .
   # Fuzz seed corpus (replay parsing only, no long fuzzing).
   run go test -run 'Fuzz.*' ./internal/trace/
+}
+
+rung_kernels() {
+  # Coding-kernel differential: the exact same test and fuzz-corpus suite
+  # twice — once on the dispatched build (CLMUL CRC folding and
+  # word-parallel RS syndromes where the CPU has them) and once under
+  # -tags purego (the pinned byte-level reference). Every differential
+  # test in these packages cross-checks fast against reference, so the
+  # two runs together pin the asm and vectored paths bit-for-bit.
+  run go test -count=1 ./internal/cpu/ ./internal/crc/ ./internal/rs/ ./internal/flit/
+  run go test -count=1 -tags purego ./internal/cpu/ ./internal/crc/ ./internal/rs/ ./internal/flit/
+  # The RXL_PUREGO escape hatch must force the reference kernels at
+  # runtime without a rebuild.
+  RXL_PUREGO=1 run go test -count=1 -run 'CLMUL|Dispatch|Flags' ./internal/cpu/ ./internal/crc/
+  # Kernel fuzz corpora, replayed on both builds.
+  run go test -count=1 -run 'Fuzz.*' ./internal/crc/ ./internal/rs/
+  run go test -count=1 -tags purego -run 'Fuzz.*' ./internal/crc/ ./internal/rs/
 }
 
 rung_differential() {
@@ -314,6 +335,10 @@ rung_bench() {
     -count 5 -benchtime 2000x -benchmem . | tee -a bench.txt
   run go test -run '^$' -bench 'CRCSlicing' \
     -count 5 -benchtime 200000x -benchmem . | tee -a bench.txt
+  run go test -run '^$' -bench 'CRCCLMUL' \
+    -count 5 -benchtime 1000000x -benchmem . | tee -a bench.txt
+  run go test -run '^$' -bench 'RSSyndromeVectored' \
+    -count 5 -benchtime 200000x -benchmem . | tee -a bench.txt
 
   jq -r '.output' BENCH_baseline.json >baseline.txt
   if command -v benchstat >/dev/null; then
@@ -325,18 +350,30 @@ rung_bench() {
   # machine-invariant within-run ratio floors so the fast-path, express,
   # and epoch-skip wins are gated even when absolute timings drift with
   # the runner's CPU model.
+  # The CLMUL gate only applies where the host actually ran the kernel:
+  # the benchmark self-skips (emitting nothing) on CPUs or builds without
+  # PCLMULQDQ, and a missing benchmark would otherwise fail the gate.
+  CLMUL_GATE=()
+  if grep -q '^BenchmarkCRCCLMUL/clmul' bench.txt; then
+    CLMUL_GATE=(-min-ratio 'BenchmarkCRCSlicing/by16,BenchmarkCRCCLMUL/clmul,4')
+  else
+    echo "verify: no CLMUL on this host, skipping clmul ratio gate" >&2
+  fi
   run go run ./cmd/benchgate -baseline baseline.txt -current bench.txt \
     -max-regress 0.15 \
     -min-ratio 'BenchmarkFlitTransfer/bytelevel,BenchmarkFlitTransfer/fastpath,5' \
     -min-ratio 'BenchmarkMeshTransferFastPath/bytelevel,BenchmarkMeshTransferFastPath/fastpath,5' \
     -min-ratio 'BenchmarkMeshExpressTraversal/fastpath,BenchmarkMeshExpressTraversal/express,1.05' \
     -min-ratio 'BenchmarkMCEpochSkip/pr5-ber1e6,BenchmarkMCEpochSkip/epoch-ber1e9,5' \
-    -min-ratio 'BenchmarkCRCSlicing/table,BenchmarkCRCSlicing/by16,4'
+    -min-ratio 'BenchmarkCRCSlicing/table,BenchmarkCRCSlicing/by16,4' \
+    -min-ratio 'BenchmarkRSSyndromeVectored/bytelevel,BenchmarkRSSyndromeVectored/vectored,3' \
+    "${CLMUL_GATE[@]}"
 }
 
 case "$level" in
 unit) rung_unit ;;
 race) rung_race ;;
+kernels) rung_kernels ;;
 differential) rung_differential ;;
 smoke) rung_smoke ;;
 metrics) rung_metrics ;;
@@ -346,6 +383,7 @@ bench) rung_bench ;;
 all)
   rung_unit
   rung_race
+  rung_kernels
   rung_differential
   rung_smoke
   rung_metrics
@@ -354,7 +392,7 @@ all)
   rung_bench
   ;;
 *)
-  echo "unknown level '$level' (want unit|race|differential|smoke|metrics|fleet|compose|bench|all)" >&2
+  echo "unknown level '$level' (want unit|race|kernels|differential|smoke|metrics|fleet|compose|bench|all)" >&2
   exit 2
   ;;
 esac
